@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Ablation study of Memento's design choices (beyond the paper's own
+ * sensitivity studies): objects per arena (the paper picks 256 to
+ * balance metadata cost and internal fragmentation), the eager
+ * arena-prefetch optimization (§3.1), the main-memory bypass (§3.3),
+ * and the hardware page pool's refill batch.
+ */
+
+#include <iostream>
+
+#include "an/report.h"
+#include "bench_util.h"
+#include "wl/trace_generator.h"
+
+using namespace memento;
+using namespace memento::benchutil;
+
+namespace {
+
+double
+speedupUnder(const WorkloadSpec &spec, const Trace &trace,
+             const MachineConfig &memento_cfg)
+{
+    RunResult base = Experiment::runOne(spec, trace, defaultConfig());
+    RunResult mem = Experiment::runOne(spec, trace, memento_cfg);
+    return static_cast<double>(base.cycles) /
+           static_cast<double>(mem.cycles);
+}
+
+} // namespace
+
+int
+main()
+{
+    const WorkloadSpec &spec = workloadById("html");
+    const Trace trace = TraceGenerator(spec).generate();
+    std::cout << "=== Design ablations (workload: " << spec.id
+              << ") ===\n\n";
+
+    // 1. Objects per arena.
+    std::cout << "Objects per arena (paper picks 256; the header's\n"
+                 "bitmap field caps the arena at 256 objects):\n";
+    {
+        TextTable t({"objects/arena", "Speedup", "Inactive slots",
+                     "Arena grants"});
+        for (unsigned objs : {32u, 64u, 128u, 256u}) {
+            MachineConfig cfg = mementoConfig();
+            cfg.memento.objectsPerArena = objs;
+            RunResult base =
+                Experiment::runOne(spec, trace, defaultConfig());
+            RunResult mem = Experiment::runOne(spec, trace, cfg);
+            t.newRow();
+            t.cell(static_cast<std::uint64_t>(objs));
+            t.cell(static_cast<double>(base.cycles) / mem.cycles, 4);
+            t.cell(percentStr(mem.fragInactiveFraction, 2));
+            t.cell(mem.objAllocs == 0
+                       ? std::string("-")
+                       : std::to_string(mem.allocListOps));
+        }
+        t.print(std::cout);
+    }
+
+    // 2. Eager arena prefetch.
+    std::cout << "\nEager arena prefetch (§3.1 optimization):\n";
+    {
+        MachineConfig eager = mementoConfig();
+        MachineConfig lazy = mementoConfig();
+        lazy.memento.eagerArenaPrefetch = false;
+        TextTable t({"prefetch", "Speedup", "HOT alloc miss"});
+        for (auto [name, cfg] : {std::pair{"eager", eager},
+                                 std::pair{"demand", lazy}}) {
+            RunResult base =
+                Experiment::runOne(spec, trace, defaultConfig());
+            RunResult mem = Experiment::runOne(spec, trace, cfg);
+            t.newRow();
+            t.cell(name);
+            t.cell(static_cast<double>(base.cycles) / mem.cycles, 4);
+            t.cell(mem.hotAllocMisses);
+        }
+        t.print(std::cout);
+    }
+
+    // 3. Main-memory bypass.
+    std::cout << "\nMain-memory bypass (§3.3):\n";
+    {
+        MachineConfig off = mementoConfig();
+        off.memento.bypassEnabled = false;
+        TextTable t({"bypass", "Speedup", "DRAM MB"});
+        for (auto [name, cfg] : {std::pair{"on", mementoConfig()},
+                                 std::pair{"off", off}}) {
+            RunResult base =
+                Experiment::runOne(spec, trace, defaultConfig());
+            RunResult mem = Experiment::runOne(spec, trace, cfg);
+            t.newRow();
+            t.cell(name);
+            t.cell(static_cast<double>(base.cycles) / mem.cycles, 4);
+            t.cell(mem.dramBytes >> 20);
+        }
+        t.print(std::cout);
+    }
+
+    // 4. Page-pool refill batch.
+    std::cout << "\nPage-pool refill batch (OS grants per refill):\n";
+    {
+        TextTable t({"refill pages", "Speedup", "Pool refills",
+                     "Peak pages"});
+        for (unsigned refill : {16u, 64u, 256u}) {
+            MachineConfig cfg = mementoConfig();
+            cfg.memento.pagePoolRefill = refill;
+            cfg.memento.pagePoolLowWater = refill / 4;
+            RunResult base =
+                Experiment::runOne(spec, trace, defaultConfig());
+            RunResult mem = Experiment::runOne(spec, trace, cfg);
+            t.newRow();
+            t.cell(static_cast<std::uint64_t>(refill));
+            t.cell(static_cast<double>(base.cycles) / mem.cycles, 4);
+            t.cell(mem.poolRefills);
+            t.cell(mem.peakResidentPages);
+        }
+        t.print(std::cout);
+    }
+
+    // 5. HOT latency sensitivity.
+    std::cout << "\nHOT access latency:\n";
+    {
+        TextTable t({"HOT cycles", "Speedup"});
+        for (Cycles lat : {1u, 2u, 4u, 8u}) {
+            MachineConfig cfg = mementoConfig();
+            cfg.memento.hotLatency = lat;
+            t.newRow();
+            t.cell(static_cast<std::uint64_t>(lat));
+            t.cell(speedupUnder(spec, trace, cfg), 4);
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

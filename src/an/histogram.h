@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fixed-bucket histograms plus the exact bucketings used by the paper's
+ * characterization figures (Fig. 2 allocation sizes in 512 B steps,
+ * Fig. 3 malloc-free distances in 16-allocation steps).
+ */
+
+#ifndef MEMENTO_AN_HISTOGRAM_H
+#define MEMENTO_AN_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memento {
+
+/** A histogram over [edge[i], edge[i+1]) buckets with a +Inf tail. */
+class Histogram
+{
+  public:
+    /** @param edges Ascending bucket lower bounds; first is the min. */
+    explicit Histogram(std::vector<std::uint64_t> edges);
+
+    /** Count @p value into its bucket (values below edges[0] clamp). */
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Number of buckets (edges.size()). */
+    std::size_t buckets() const { return counts_.size(); }
+
+    std::uint64_t count(std::size_t bucket) const;
+    std::uint64_t total() const { return total_; }
+
+    /** Percentage of the total in @p bucket (0 when empty). */
+    double percent(std::size_t bucket) const;
+
+    /** Bucket label like "[1, 512]" or "[4097, Inf]". */
+    std::string label(std::size_t bucket) const;
+
+    /** Merge another histogram with identical edges. */
+    void merge(const Histogram &other);
+
+    /** Fig. 2 bucketing: 512 B steps up to 4096, then +Inf. */
+    static Histogram allocationSize();
+
+    /** Fig. 3 bucketing: 16-allocation steps up to 256, then +Inf. */
+    static Histogram lifetime();
+
+  private:
+    std::vector<std::uint64_t> edges_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_AN_HISTOGRAM_H

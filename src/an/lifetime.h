@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Allocation-trace characterization: the §2.2 metrics.
+ *
+ * Computes allocation-size and malloc-free-distance histograms (Figs.
+ * 2–3) and the joint size/lifetime distribution (Table 1) from a
+ * workload trace. Distance is measured exactly as the paper defines
+ * it: the number of same-size-class allocations between an object's
+ * malloc and its free; never-freed objects count as long-lived (the
+ * [257, Inf] tail).
+ */
+
+#ifndef MEMENTO_AN_LIFETIME_H
+#define MEMENTO_AN_LIFETIME_H
+
+#include "an/histogram.h"
+#include "wl/trace.h"
+
+namespace memento {
+
+/** Joint size x lifetime shares (Table 1). */
+struct JointDistribution
+{
+    double smallShort = 0.0;
+    double smallLong = 0.0;
+    double largeShort = 0.0;
+    double largeLong = 0.0;
+};
+
+/** Characterization of one trace. */
+struct TraceProfile
+{
+    Histogram sizeHist = Histogram::allocationSize();
+    Histogram lifetimeHist = Histogram::lifetime();
+    JointDistribution joint;
+    std::uint64_t allocations = 0;
+    std::uint64_t frees = 0;
+    /** malloc per kilo-instruction, from the trace's compute budget. */
+    double mallocPki = 0.0;
+};
+
+/** Analyze @p trace (§2.2's instrumentation, offline). */
+TraceProfile profileTrace(const Trace &trace);
+
+/** Distance at or below which an allocation counts as short-lived. */
+inline constexpr std::uint64_t kShortLivedDistance = 16;
+
+} // namespace memento
+
+#endif // MEMENTO_AN_LIFETIME_H

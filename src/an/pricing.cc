@@ -1,0 +1,22 @@
+#include "an/pricing.h"
+
+#include <cmath>
+
+namespace memento {
+
+double
+PricingModel::runtimeCostUsd(double exec_ms, double mem_mb) const
+{
+    const double billed_ms =
+        std::ceil(exec_ms / granularityMs) * granularityMs;
+    const double mem_gb = std::ceil(mem_mb) / 1024.0;
+    return billed_ms / 1000.0 * mem_gb * usdPerGbSecond;
+}
+
+double
+PricingModel::totalCostUsd(double exec_ms, double mem_mb) const
+{
+    return runtimeCostUsd(exec_ms, mem_mb) + usdPerInvocation;
+}
+
+} // namespace memento

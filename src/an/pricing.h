@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Serverless function pricing model (§6.5, Fig. 14), following the
+ * public AWS Lambda price book: execution billed per started
+ * millisecond times the memory grant in GB, plus an optional fixed
+ * per-invocation (request) fee.
+ */
+
+#ifndef MEMENTO_AN_PRICING_H
+#define MEMENTO_AN_PRICING_H
+
+#include <cstdint>
+
+namespace memento {
+
+/** Lambda-style pricing. */
+struct PricingModel
+{
+    /** USD per GB-second of execution (x86 tier-1 price). */
+    double usdPerGbSecond = 0.0000166667;
+    /** USD per request (fixed per-invocation infrastructure fee). */
+    double usdPerInvocation = 0.0000002;
+    /** Billing granularity in milliseconds. */
+    double granularityMs = 1.0;
+
+    /**
+     * Runtime cost only (no per-invocation fee): the Fig. 14 metric.
+     * @param exec_ms Function execution time.
+     * @param mem_mb Billed memory in MB (rounded up to 1 MB).
+     */
+    double runtimeCostUsd(double exec_ms, double mem_mb) const;
+
+    /** End-to-end cost including the per-invocation fee (§6.5). */
+    double totalCostUsd(double exec_ms, double mem_mb) const;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_AN_PRICING_H

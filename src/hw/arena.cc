@@ -1,0 +1,3 @@
+#include "hw/arena.h"
+
+// Header-only; this translation unit anchors the component.

@@ -1,0 +1,3 @@
+#include "hw/bypass.h"
+
+// Header-only; this translation unit anchors the component.

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The Hardware Object Table (HOT): a per-core direct-mapped metadata
+ * cache with one entry per size class (§3.1, Fig. 5b).
+ *
+ * Each entry caches the most recently used arena header of its class
+ * plus the PA field and the heads of the class's available and full
+ * lists. Hits complete in hotLatency cycles without memory requests.
+ */
+
+#ifndef MEMENTO_HW_HOT_H
+#define MEMENTO_HW_HOT_H
+
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace memento {
+
+/** One HOT entry (cached arena header + list heads). */
+struct HotEntry
+{
+    bool valid = false;
+    Addr arenaVa = 0;   ///< VA field of the cached header.
+    Addr arenaPa = 0;   ///< PA of the header in memory.
+};
+
+/** The direct-mapped table, indexed by size class. */
+class Hot
+{
+  public:
+    Hot(const MementoConfig &cfg, StatRegistry &stats);
+
+    /** Entry for size class @p cls (no associative search needed). */
+    HotEntry &entry(unsigned cls) { return entries_[cls]; }
+    const HotEntry &entry(unsigned cls) const { return entries_[cls]; }
+
+    /** Record an allocation hit/miss (Fig. 12 numerators). */
+    void recordAlloc(bool hit);
+    /** Record a free hit/miss. */
+    void recordFree(bool hit);
+
+    /**
+     * Invalidate all entries (context switch).
+     * @return number of entries that were valid (writebacks issued).
+     */
+    unsigned flush();
+
+    double allocHitRate() const;
+    double freeHitRate() const;
+
+    std::uint64_t allocHits() const { return allocHits_.value(); }
+    std::uint64_t allocMisses() const { return allocMisses_.value(); }
+    std::uint64_t freeHits() const { return freeHits_.value(); }
+    std::uint64_t freeMisses() const { return freeMisses_.value(); }
+
+    Cycles latency() const { return latency_; }
+
+  private:
+    std::vector<HotEntry> entries_;
+    Cycles latency_;
+
+    Counter allocHits_;
+    Counter allocMisses_;
+    Counter freeHits_;
+    Counter freeMisses_;
+    Counter flushes_;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_HW_HOT_H

@@ -1,0 +1,3 @@
+#include "hw/mallacc.h"
+
+// Header-only; this translation unit anchors the component.

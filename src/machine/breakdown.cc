@@ -1,0 +1,54 @@
+#include "machine/breakdown.h"
+
+namespace memento {
+
+Breakdown
+computeBreakdown(const Comparison &cmp)
+{
+    const RunResult &b = cmp.base;
+    const RunResult &m = cmp.memento;
+    const RunResult &nb = cmp.mementoNoBypass;
+
+    auto saved = [](Cycles base_cost, Cycles memento_cost) -> double {
+        const double diff = static_cast<double>(base_cost) -
+                            static_cast<double>(memento_cost);
+        return diff > 0.0 ? diff : 0.0;
+    };
+
+    // Userspace alloc/free work replaced by the hardware object
+    // allocator (the Memento runs still pay the software path for
+    // large objects, which is why it is subtracted).
+    const double alloc_saved =
+        saved(b.category(CycleCategory::UserAlloc),
+              m.category(CycleCategory::UserAlloc) +
+                  m.category(CycleCategory::HwAlloc));
+    const double free_saved =
+        saved(b.category(CycleCategory::UserFree),
+              m.category(CycleCategory::UserFree) +
+                  m.category(CycleCategory::HwFree));
+
+    // Kernel memory management replaced by the hardware page allocator.
+    const double page_saved =
+        saved(b.kernelMmCycles(),
+              m.kernelMmCycles() + m.category(CycleCategory::HwPage));
+
+    // Bypass gain isolated by the bypass-disabled run.
+    const double bypass_saved =
+        saved(nb.cycles, m.cycles);
+
+    Breakdown out;
+    const double base_minus_mem = saved(b.cycles, m.cycles);
+    out.savedCycles = static_cast<Cycles>(base_minus_mem);
+
+    const double total =
+        alloc_saved + free_saved + page_saved + bypass_saved;
+    if (total <= 0.0)
+        return out;
+    out.objAlloc = alloc_saved / total;
+    out.objFree = free_saved / total;
+    out.pageMgmt = page_saved / total;
+    out.bypass = bypass_saved / total;
+    return out;
+}
+
+} // namespace memento

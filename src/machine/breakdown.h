@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fig. 9 attribution: where Memento's saved cycles come from.
+ *
+ * Saved cycles are computed per mechanism from paired category totals:
+ * obj-alloc and obj-free gains are the software allocation/free cycles
+ * minus what the hardware paths cost; page-management gains are the
+ * kernel memory-management cycles minus the hardware page allocator's
+ * cost; the bypass gain is isolated with a bypass-disabled Memento run.
+ */
+
+#ifndef MEMENTO_MACHINE_BREAKDOWN_H
+#define MEMENTO_MACHINE_BREAKDOWN_H
+
+#include "machine/experiment.h"
+
+namespace memento {
+
+/** Shares of the total saved cycles per mechanism (sum to 1). */
+struct Breakdown
+{
+    double objAlloc = 0.0;
+    double objFree = 0.0;
+    double pageMgmt = 0.0;
+    double bypass = 0.0;
+
+    /** Total cycles saved by Memento over the baseline. */
+    Cycles savedCycles = 0;
+};
+
+/** Compute the attribution for one workload's comparison. */
+Breakdown computeBreakdown(const Comparison &cmp);
+
+} // namespace memento
+
+#endif // MEMENTO_MACHINE_BREAKDOWN_H

@@ -1,0 +1,162 @@
+#include "machine/experiment.h"
+
+#include "sim/logging.h"
+#include "wl/trace_generator.h"
+
+namespace memento {
+
+Cycles
+RunResult::userMmCycles() const
+{
+    return category(CycleCategory::UserAlloc) +
+           category(CycleCategory::UserFree);
+}
+
+Cycles
+RunResult::kernelMmCycles() const
+{
+    return category(CycleCategory::KernelMmap) +
+           category(CycleCategory::KernelFault) +
+           category(CycleCategory::KernelOther);
+}
+
+Cycles
+RunResult::hwMmCycles() const
+{
+    return category(CycleCategory::HwAlloc) +
+           category(CycleCategory::HwFree) +
+           category(CycleCategory::HwPage);
+}
+
+double
+Comparison::speedup() const
+{
+    if (memento.cycles == 0)
+        return 1.0;
+    return static_cast<double>(base.cycles) /
+           static_cast<double>(memento.cycles);
+}
+
+double
+Comparison::bandwidthReduction() const
+{
+    if (base.dramBytes == 0)
+        return 0.0;
+    const double ratio = static_cast<double>(memento.dramBytes) /
+                         static_cast<double>(base.dramBytes);
+    return 1.0 - ratio;
+}
+
+RunResult
+Experiment::runOne(const WorkloadSpec &spec, const Trace &trace,
+                   const MachineConfig &cfg, RunOptions opts)
+{
+    Machine machine(cfg);
+    machine.createProcess(spec);
+
+    // Snapshot after set-up: the measurement window covers only the
+    // function execution itself (warm-start semantics).
+    const auto stats_before = machine.stats().snapshot();
+    const CycleLedger ledger_before = machine.cycleLedger();
+    const std::uint64_t instr_before = machine.instructions();
+
+    FunctionExecutor executor(machine);
+    executor.run(spec, trace, opts);
+
+    auto delta = [&](const std::string &name) {
+        auto it = stats_before.find(name);
+        const std::uint64_t before =
+            it == stats_before.end() ? 0 : it->second;
+        return machine.stats().value(name) - before;
+    };
+
+    RunResult res;
+    res.workload = spec.id;
+    res.cycles = machine.cycleLedger().total() - ledger_before.total();
+    for (std::size_t i = 0; i < kNumCycleCategories; ++i) {
+        const auto cat = static_cast<CycleCategory>(i);
+        res.byCategory[i] = machine.cycleLedger().category(cat) -
+                            ledger_before.category(cat);
+    }
+    res.instructions = machine.instructions() - instr_before;
+
+    res.dramBytes = delta("dram.bytes");
+    res.dramReads = delta("dram.reads");
+    res.dramWrites = delta("dram.writes");
+    res.bypassedLines = delta("hier.bypassed_lines");
+
+    // Aggregate usage counts every page the OS allocated, including
+    // runtime set-up (the paper's §6.3 metric covers the runtime's
+    // pre-mapped pools — that is exactly where jemalloc's waste shows
+    // up). Memento's hardware pool recycles pages internally, so only
+    // OS grants to the pool count.
+    const std::string vm = "vm" + std::to_string(machine.process().pid());
+    res.aggUserPages = machine.stats().value(vm + ".agg_user_pages") +
+                       machine.stats().value("hwpage.agg_os_pages");
+    res.aggKernelPages =
+        machine.stats().value(vm + ".agg_kernel_pages") +
+        machine.stats().value(vm + ".agg_vma_bytes") / kPageSize;
+    // Peak consumed memory: machine-wide physical high-water mark,
+    // less the hardware pool's idle slack (reclaimable by the OS).
+    std::uint64_t peak = machine.stats().value("buddy.peak_pages");
+    if (machine.hwPageAllocator()) {
+        const std::uint64_t slack =
+            machine.hwPageAllocator()->poolFreePages();
+        peak = peak > slack ? peak - slack : 0;
+    }
+    res.peakResidentPages = peak;
+    res.pageFaults = delta(vm + ".faults");
+    res.mmapCalls = delta(vm + ".mmap_calls");
+    res.poolRefills = delta("hwpage.pool_refills");
+
+    res.hotAllocHits = delta("hot.alloc_hits");
+    res.hotAllocMisses = delta("hot.alloc_misses");
+    res.hotFreeHits = delta("hot.free_hits");
+    res.hotFreeMisses = delta("hot.free_misses");
+    res.allocListOps = delta("hwobj.alloc_list_ops");
+    res.freeListOps = delta("hwobj.free_list_ops");
+
+    res.fragInactiveFraction = executor.fragSample();
+    if (cfg.memento.enabled && !cfg.memento.mallaccMode) {
+        res.objAllocs = res.hotAllocHits + res.hotAllocMisses;
+        res.objFrees = res.hotFreeHits + res.hotFreeMisses;
+    } else {
+        res.objAllocs = delta("pymalloc.small_mallocs") +
+                        delta("jemalloc.small_mallocs") +
+                        delta("gomalloc.small_mallocs");
+        res.objFrees = delta("pymalloc.small_frees") +
+                       delta("jemalloc.small_frees") +
+                       delta("gomalloc.deaths");
+    }
+    return res;
+}
+
+Comparison
+Experiment::compare(const WorkloadSpec &spec,
+                    const MachineConfig &base_cfg,
+                    const MachineConfig &memento_cfg, RunOptions opts)
+{
+    panic_if(base_cfg.memento.enabled, "compare: base has Memento on");
+    panic_if(!memento_cfg.memento.enabled,
+             "compare: memento config has Memento off");
+
+    const Trace trace = TraceGenerator(spec).generate();
+
+    Comparison cmp;
+    cmp.spec = spec;
+    cmp.base = runOne(spec, trace, base_cfg, opts);
+    cmp.memento = runOne(spec, trace, memento_cfg, opts);
+
+    MachineConfig no_bypass = memento_cfg;
+    no_bypass.memento.bypassEnabled = false;
+    cmp.mementoNoBypass = runOne(spec, trace, no_bypass, opts);
+    return cmp;
+}
+
+Comparison
+Experiment::compareDefault(const WorkloadSpec &spec, RunOptions opts)
+{
+    return compare(spec, defaultConfig(), mementoConfig(), opts);
+}
+
+} // namespace memento

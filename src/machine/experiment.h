@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Experiment runner: executes one workload on a given configuration
+ * and extracts the metrics every figure/table of the paper is built
+ * from. A Comparison pairs a baseline run, a Memento run, and a
+ * bypass-disabled Memento run over the identical trace.
+ */
+
+#ifndef MEMENTO_MACHINE_EXPERIMENT_H
+#define MEMENTO_MACHINE_EXPERIMENT_H
+
+#include <array>
+#include <string>
+
+#include "machine/function_executor.h"
+#include "sim/config.h"
+#include "wl/trace.h"
+#include "wl/workloads.h"
+
+namespace memento {
+
+/** Metrics of one run (deltas over the measurement window). */
+struct RunResult
+{
+    std::string workload;
+    Cycles cycles = 0;
+    std::array<Cycles, kNumCycleCategories> byCategory{};
+    std::uint64_t instructions = 0;
+
+    std::uint64_t dramBytes = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t bypassedLines = 0;
+
+    /** Aggregate (cumulative) pages allocated during the run. */
+    std::uint64_t aggUserPages = 0;
+    std::uint64_t aggKernelPages = 0;
+    std::uint64_t peakResidentPages = 0;
+
+    std::uint64_t pageFaults = 0;
+    std::uint64_t mmapCalls = 0;
+    std::uint64_t poolRefills = 0;
+
+    std::uint64_t hotAllocHits = 0;
+    std::uint64_t hotAllocMisses = 0;
+    std::uint64_t hotFreeHits = 0;
+    std::uint64_t hotFreeMisses = 0;
+    std::uint64_t allocListOps = 0;
+    std::uint64_t freeListOps = 0;
+    std::uint64_t objAllocs = 0; ///< Small allocations performed.
+    std::uint64_t objFrees = 0;  ///< Small frees performed.
+    double fragInactiveFraction = 0.0;
+
+    Cycles
+    category(CycleCategory cat) const
+    {
+        return byCategory[static_cast<std::size_t>(cat)];
+    }
+
+    /** Userspace memory-management cycles (Table 2 numerator). */
+    Cycles userMmCycles() const;
+    /** Kernel memory-management cycles. */
+    Cycles kernelMmCycles() const;
+    /** Hardware (Memento) memory-management cycles. */
+    Cycles hwMmCycles() const;
+
+    double
+    executionMs(const MachineConfig &cfg) const
+    {
+        return cfg.cyclesToMs(cycles);
+    }
+};
+
+/** Paired runs of one workload. */
+struct Comparison
+{
+    WorkloadSpec spec;
+    RunResult base;           ///< Software baseline.
+    RunResult memento;        ///< Full Memento.
+    RunResult mementoNoBypass; ///< Memento with bypass disabled.
+
+    double speedup() const;
+    /** 1 - memento DRAM bytes / baseline DRAM bytes. */
+    double bandwidthReduction() const;
+};
+
+/** Runs workloads on configurations. */
+class Experiment
+{
+  public:
+    /** Execute @p trace for @p spec on a fresh machine under @p cfg. */
+    static RunResult runOne(const WorkloadSpec &spec, const Trace &trace,
+                            const MachineConfig &cfg, RunOptions opts = {});
+
+    /** Baseline + Memento + Memento-no-bypass over one shared trace. */
+    static Comparison compare(const WorkloadSpec &spec,
+                              const MachineConfig &base_cfg,
+                              const MachineConfig &memento_cfg,
+                              RunOptions opts = {});
+
+    /** compare() with the default Table 3 configurations. */
+    static Comparison compareDefault(const WorkloadSpec &spec,
+                                     RunOptions opts = {});
+};
+
+} // namespace memento
+
+#endif // MEMENTO_MACHINE_EXPERIMENT_H

@@ -1,0 +1,108 @@
+#include "machine/function_executor.h"
+
+#include "sim/logging.h"
+
+namespace memento {
+
+void
+FunctionExecutor::chargeRpc(const WorkloadSpec &spec)
+{
+    if (spec.rpcBytes == 0)
+        return;
+    // The paper measures RPC costs of hundreds of microseconds per
+    // function; model a fixed software cost plus a per-byte component.
+    CategoryScope scope(machine_.ledger(), CycleCategory::Rpc);
+    machine_.chargeCycles(120'000 + spec.rpcBytes / 4);
+}
+
+void
+FunctionExecutor::execute(const WorkloadSpec &spec, const TraceOp &op)
+{
+    Allocator &alloc = machine_.allocator();
+    const Addr static_base = machine_.staticBase();
+
+    switch (op.kind) {
+      case OpKind::Compute:
+        machine_.appCompute(op.value);
+        break;
+      case OpKind::StaticLoad:
+        machine_.appAccess(static_base + op.offset % spec.staticWsBytes,
+                           AccessType::Read);
+        break;
+      case OpKind::StaticStore:
+        machine_.appAccess(static_base + op.offset % spec.staticWsBytes,
+                           AccessType::Write);
+        break;
+      case OpKind::Malloc: {
+        Addr addr = alloc.malloc(op.value, machine_);
+        auto [it, inserted] =
+            objects_.emplace(op.objId, ObjectInfo{addr, op.value});
+        (void)it;
+        panic_if(!inserted, "trace: duplicate object id ", op.objId);
+        if (++opsSinceFragSample_ >= 4096) {
+            opsSinceFragSample_ = 0;
+            const std::uint64_t live = alloc.liveBytes();
+            if (live >= fragMaxLive_) {
+                fragMaxLive_ = live;
+                fragSample_ = alloc.inactiveSlotFraction();
+            }
+        }
+        break;
+      }
+      case OpKind::Free: {
+        auto it = objects_.find(op.objId);
+        panic_if(it == objects_.end(), "trace: free of unknown object ",
+                 op.objId);
+        alloc.free(it->second.addr, machine_);
+        objects_.erase(it);
+        break;
+      }
+      case OpKind::Load:
+      case OpKind::Store: {
+        auto it = objects_.find(op.objId);
+        panic_if(it == objects_.end(),
+                 "trace: access to unknown object ", op.objId);
+        panic_if(op.offset >= it->second.size,
+                 "trace: access past object end");
+        machine_.appAccess(it->second.addr + op.offset,
+                           op.kind == OpKind::Store ? AccessType::Write
+                                                    : AccessType::Read);
+        break;
+      }
+      case OpKind::FunctionEnd:
+        if (fragMaxLive_ == 0) {
+            // Short trace: sample once before teardown.
+            fragSample_ = alloc.inactiveSlotFraction();
+        }
+        alloc.functionExit(machine_);
+        objects_.clear();
+        break;
+    }
+}
+
+void
+FunctionExecutor::run(const WorkloadSpec &spec, const Trace &trace,
+                      RunOptions opts)
+{
+    if (opts.coldStart)
+        machine_.kernelCosts().chargeContainerSetup(machine_);
+    if (opts.chargeRpc)
+        chargeRpc(spec); // Fetch inputs.
+
+    for (const TraceOp &op : trace)
+        execute(spec, op);
+
+    if (opts.chargeRpc)
+        chargeRpc(spec); // Store results.
+}
+
+void
+FunctionExecutor::runRange(const WorkloadSpec &spec, const Trace &trace,
+                           std::size_t from, std::size_t to)
+{
+    panic_if(to > trace.size() || from > to, "runRange: bad range");
+    for (std::size_t i = from; i < to; ++i)
+        execute(spec, trace[i]);
+}
+
+} // namespace memento

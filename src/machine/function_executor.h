@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Executes a workload trace on a Machine: binds object ids to the
+ * addresses the live allocator returns, issues application memory
+ * references, and adds the serverless bookends (optional container
+ * set-up for cold starts, RPC input/output, batch free at exit).
+ */
+
+#ifndef MEMENTO_MACHINE_FUNCTION_EXECUTOR_H
+#define MEMENTO_MACHINE_FUNCTION_EXECUTOR_H
+
+#include <unordered_map>
+
+#include "machine/machine.h"
+#include "wl/trace.h"
+#include "wl/workloads.h"
+
+namespace memento {
+
+/** Per-run options. */
+struct RunOptions
+{
+    /** Charge the container set-up path before executing (§6.6). */
+    bool coldStart = false;
+    /** Charge RPC bookends (functions fetch inputs / store results). */
+    bool chargeRpc = true;
+};
+
+/** Trace interpreter. */
+class FunctionExecutor
+{
+  public:
+    explicit FunctionExecutor(Machine &machine) : machine_(machine) {}
+
+    /**
+     * Run @p trace for the machine's current process.
+     * The trace must be self-consistent (every Free matches a Malloc).
+     */
+    void run(const WorkloadSpec &spec, const Trace &trace,
+             RunOptions opts = {});
+
+    /**
+     * Execute ops [from, to) of @p trace (multi-process interleaving:
+     * object bindings persist across calls; no RPC bookends).
+     */
+    void runRange(const WorkloadSpec &spec, const Trace &trace,
+                  std::size_t from, std::size_t to);
+
+    /**
+     * Allocator fragmentation (§6.6's inactive-slot metric), sampled
+     * periodically and reported at the point of peak live bytes — the
+     * moment the heap is densest and slack is real slack rather than
+     * objects that already died.
+     */
+    double fragSample() const { return fragSample_; }
+
+    /** Live object count (for tests; 0 after FunctionEnd). */
+    std::size_t liveObjects() const { return objects_.size(); }
+
+  private:
+    struct ObjectInfo
+    {
+        Addr addr = 0;
+        std::uint64_t size = 0;
+    };
+
+    void chargeRpc(const WorkloadSpec &spec);
+    void execute(const WorkloadSpec &spec, const TraceOp &op);
+
+    Machine &machine_;
+    std::unordered_map<std::uint64_t, ObjectInfo> objects_;
+    double fragSample_ = 0.0;
+    std::uint64_t fragMaxLive_ = 0;
+    std::uint64_t opsSinceFragSample_ = 0;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_MACHINE_FUNCTION_EXECUTOR_H

@@ -1,0 +1,328 @@
+#include "machine/machine.h"
+
+#include "hw/mallacc.h"
+#include "rt/gomalloc.h"
+#include "rt/jemalloc.h"
+#include "rt/pymalloc.h"
+#include "sim/logging.h"
+
+namespace memento {
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg),
+      kernelCosts_(cfg_),
+      instructions_(stats_.counter("machine.instructions")),
+      appLoads_(stats_.counter("machine.app_loads")),
+      appStores_(stats_.counter("machine.app_stores"))
+{
+    hier_ = std::make_unique<CacheHierarchy>(cfg_, stats_);
+    l1Tlb_ = std::make_unique<Tlb>("l1tlb", cfg_.l1Tlb, stats_);
+    l2Tlb_ = std::make_unique<Tlb>("l2tlb", cfg_.l2Tlb, stats_);
+    walker_ = std::make_unique<PageWalker>(*hier_);
+    // Physical memory starts above a reserved low region so that no
+    // valid frame aliases kNullAddr.
+    buddy_ = std::make_unique<BuddyAllocator>(1ull << 22,
+                                              cfg_.dram.sizeBytes, stats_);
+
+    if (cfg_.memento.enabled) {
+        geometry_ =
+            std::make_unique<ArenaGeometry>(cfg_.memento, cfg_.layout);
+        hot_ = std::make_unique<Hot>(cfg_.memento, stats_);
+        hwPage_ = std::make_unique<HwPageAllocator>(cfg_, *geometry_,
+                                                    *buddy_, stats_);
+        hwObj_ = std::make_unique<HwObjectAllocator>(
+            cfg_, *geometry_, *hot_, *hwPage_, stats_);
+        bypass_ = std::make_unique<BypassUnit>(cfg_.memento, *geometry_,
+                                               stats_);
+    }
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::chargeInstructions(InstCount n)
+{
+    instructions_ += n;
+    const double cycles =
+        static_cast<double>(n) / cfg_.core.baseIpc;
+    ledger_.charge(static_cast<Cycles>(cycles + 0.5));
+}
+
+void
+Machine::chargeCycles(Cycles n)
+{
+    ledger_.charge(n);
+}
+
+Addr
+Machine::mementoWalk(Addr vaddr)
+{
+    MementoSpace &space = *procs_[current_].space;
+    Cycles walk_latency = 0;
+    WalkResult res = walker_->walk(space.mpt, vaddr, now(), walk_latency);
+    ledger_.charge(walk_latency);
+    if (res.valid)
+        return res.ppage;
+    // Invalid entry: the page allocator expands the table / backs the
+    // page during the walk (§3.2).
+    return hwPage_->populateOnWalk(space, vaddr, *this);
+}
+
+Addr
+Machine::translate(Addr vaddr)
+{
+    // L1 TLB (entries may be 4 KiB or 2 MiB).
+    chargeCycles(l1Tlb_->latency());
+    if (auto paddr = l1Tlb_->translate(vaddr))
+        return *paddr;
+
+    // L2 TLB.
+    chargeCycles(l2Tlb_->latency());
+    if (auto paddr = l2Tlb_->translate(vaddr)) {
+        // Refill the L1 at the same granularity the mapping has.
+        ProcContext &p = procs_[current_];
+        const bool is_huge = p.process->vm().lookupHuge(vaddr).has_value();
+        l1Tlb_->insert(vaddr, *paddr - (vaddr & ((1ull << (is_huge ? kHugePageShift : kPageShift)) - 1)),
+                       is_huge ? kHugePageShift : kPageShift);
+        return *paddr;
+    }
+
+    // Page walk. The MMU compares against MRS/MRE to pick the table.
+    ProcContext &proc = procs_[current_];
+    Addr ppage = kNullAddr;
+    const MementoRegs &regs = proc.process->mementoRegs();
+    const bool in_region = cfg_.memento.enabled && vaddr >= regs.mrs &&
+                           vaddr < regs.mre;
+    if (in_region) {
+        ppage = mementoWalk(vaddr);
+    } else {
+        VirtualMemory &vm = proc.process->vm();
+        // A huge (PMD-level) mapping terminates the walk a level early.
+        if (auto huge = vm.lookupHuge(vaddr)) {
+            chargeCycles(3 * cfg_.l2.latency / 2); // 3-level walk approx.
+            const Addr base = *huge - (vaddr & ((1ull << kHugePageShift) - 1));
+            l1Tlb_->insert(vaddr, base, kHugePageShift);
+            l2Tlb_->insert(vaddr, base, kHugePageShift);
+            return *huge;
+        }
+        Cycles walk_latency = 0;
+        WalkResult res =
+            walker_->walk(vm.pageTable(), vaddr, now(), walk_latency);
+        ledger_.charge(walk_latency);
+        if (!res.valid) {
+            // Demand fault, then the access retries the walk.
+            fatal_if(!vm.handleFault(vaddr, *this),
+                     "segfault at 0x", std::hex, vaddr);
+            if (auto huge = vm.lookupHuge(vaddr)) {
+                // The fault was satisfied with a huge page (THP).
+                const Addr base =
+                    *huge - (vaddr & ((1ull << kHugePageShift) - 1));
+                l1Tlb_->insert(vaddr, base, kHugePageShift);
+                l2Tlb_->insert(vaddr, base, kHugePageShift);
+                return *huge;
+            }
+            walk_latency = 0;
+            res = walker_->walk(vm.pageTable(), vaddr, now(),
+                                walk_latency);
+            ledger_.charge(walk_latency);
+            panic_if(!res.valid, "walk invalid after fault");
+        }
+        ppage = res.ppage;
+    }
+
+    l1Tlb_->insert(vaddr, ppage);
+    l2Tlb_->insert(vaddr, ppage);
+    return ppage + (vaddr & (kPageSize - 1));
+}
+
+Cycles
+Machine::accessVirtual(Addr vaddr, AccessType type)
+{
+    const Cycles before = ledger_.total();
+    const Addr paddr = translate(vaddr);
+    AccessResult res = hier_->access(paddr, type, now());
+    // Stores retire from the store buffer wherever they occur —
+    // allocator metadata updates and object zeroing included — so the
+    // bulk of a write's hierarchy latency is hidden. Loads on these
+    // paths are dependent pointer chases and stay fully exposed.
+    Cycles charge = res.latency;
+    if (type == AccessType::Write) {
+        const double exposed =
+            static_cast<double>(res.latency) *
+            (1.0 - cfg_.core.storeLatencyHiddenFraction);
+        charge = static_cast<Cycles>(exposed < 1.0 ? 1.0 : exposed);
+    }
+    ledger_.charge(charge);
+    return ledger_.total() - before;
+}
+
+Cycles
+Machine::accessPhysical(Addr paddr, AccessType type, AccessAttrs attrs)
+{
+    AccessResult res = hier_->access(paddr, type, now(), attrs);
+    ledger_.charge(res.latency);
+    return res.latency;
+}
+
+Cycles
+Machine::installPhysical(Addr paddr)
+{
+    Cycles latency = hier_->installLine(paddr, now());
+    ledger_.charge(latency);
+    return latency;
+}
+
+void
+Machine::tlbInvalidate(Addr vaddr)
+{
+    l1Tlb_->invalidatePage(vaddr);
+    l2Tlb_->invalidatePage(vaddr);
+}
+
+unsigned
+Machine::createProcess(const WorkloadSpec &spec)
+{
+    ProcContext proc;
+    proc.process = std::make_unique<Process>(
+        nextPid_++, spec.id, cfg_, *buddy_, stats_);
+
+    VirtualMemory &vm = proc.process->vm();
+    if (cfg_.memento.enabled) {
+        proc.space = std::make_unique<MementoSpace>(
+            *geometry_, hwPage_->poolFrames());
+        proc.process->mementoRegs().mptr = proc.space->mpt.rootPhys();
+        if (cfg_.memento.mallaccMode) {
+            // §6.7 comparison: idealized Mallacc instead of Memento.
+            proc.allocator =
+                std::make_unique<MallaccAllocator>(vm, stats_);
+        } else {
+            proc.allocator = std::make_unique<MementoAllocator>(
+                *hwObj_, *proc.space, vm, stats_);
+        }
+    } else {
+        switch (spec.lang) {
+          case Language::Python: {
+            PyMalloc::Params params;
+            params.arenaBytes = cfg_.tuning.pymallocArenaBytes;
+            proc.allocator =
+                std::make_unique<PyMalloc>(vm, stats_, params);
+            break;
+          }
+          case Language::Cpp: {
+            JeMalloc::Params params;
+            params.chunkBytes = cfg_.tuning.jemallocChunkBytes;
+            // Long-running servers run jemalloc with decay purging,
+            // which keeps page faults frequent on their heaps (§6.1).
+            if (spec.domain == Domain::DataProc) {
+                params.purgeIntervalOps = 1000;
+                params.tcacheMax = 32;
+            }
+            proc.allocator =
+                std::make_unique<JeMalloc>(vm, stats_, params);
+            break;
+          }
+          case Language::Golang: {
+            GoMalloc::Params params;
+            // Long-running platform processes reach GC triggers;
+            // short functions never do (§2.2).
+            params.gcTriggerBytes = spec.domain == Domain::Platform
+                                        ? cfg_.tuning.goGcTriggerBytes
+                                        : 0;
+            proc.allocator =
+                std::make_unique<GoMalloc>(vm, stats_, params);
+            break;
+          }
+        }
+    }
+
+    // Static working set (code + globals + inputs). A warm container
+    // has this resident already, so it is populated at set-up.
+    proc.staticWsBytes = spec.staticWsBytes;
+    proc.staticBase = vm.mmap(spec.staticWsBytes, nullptr,
+                              /*populate=*/true);
+
+    procs_.push_back(std::move(proc));
+    return static_cast<unsigned>(procs_.size() - 1);
+}
+
+void
+Machine::switchTo(unsigned index)
+{
+    panic_if(index >= procs_.size(), "switchTo: bad process index");
+    if (index == current_)
+        return;
+    unsigned flushed = 0;
+    if (hot_)
+        flushed = hot_->flush();
+    kernelCosts_.chargeContextSwitch(*this, flushed);
+    l1Tlb_->flushAll();
+    l2Tlb_->flushAll();
+    current_ = index;
+}
+
+Allocator &
+Machine::allocator()
+{
+    panic_if(procs_.empty(), "no process created");
+    return *procs_[current_].allocator;
+}
+
+Process &
+Machine::process()
+{
+    panic_if(procs_.empty(), "no process created");
+    return *procs_[current_].process;
+}
+
+Addr
+Machine::staticBase() const
+{
+    return procs_[current_].staticBase;
+}
+
+MementoSpace *
+Machine::mementoSpace()
+{
+    if (procs_.empty())
+        return nullptr;
+    return procs_[current_].space.get();
+}
+
+void
+Machine::appCompute(InstCount n)
+{
+    CategoryScope scope(ledger_, CycleCategory::AppCompute);
+    chargeInstructions(n);
+}
+
+void
+Machine::appAccess(Addr vaddr, AccessType type)
+{
+    CategoryScope scope(ledger_, CycleCategory::AppMemory);
+    if (type == AccessType::Write)
+        ++appStores_;
+    else
+        ++appLoads_;
+
+    const Addr paddr = translate(vaddr);
+
+    AccessAttrs attrs;
+    if (bypass_ && procs_[current_].space &&
+        geometry_->inRegion(vaddr)) {
+        attrs.bypassCandidate =
+            bypass_->onAccess(*procs_[current_].space, vaddr);
+    }
+
+    AccessResult res = hier_->access(paddr, type, now(), attrs);
+    // The OOO window overlaps part of the hierarchy latency with
+    // useful work; stores retire from the store buffer and almost
+    // never stall, loads stall on the unhidden remainder.
+    const double hidden = type == AccessType::Write
+                              ? cfg_.core.storeLatencyHiddenFraction
+                              : cfg_.core.memLatencyHiddenFraction;
+    const double exposed =
+        static_cast<double>(res.latency) * (1.0 - hidden);
+    ledger_.charge(static_cast<Cycles>(exposed < 1.0 ? 1.0 : exposed));
+}
+
+} // namespace memento

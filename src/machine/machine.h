@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The simulated machine: one core (Table 3) with its TLBs, cache
+ * hierarchy, DRAM, OS model, optional Memento hardware, and one or more
+ * processes. Implements Env, the interface through which software
+ * models and hardware units retire instructions and touch memory.
+ */
+
+#ifndef MEMENTO_MACHINE_MACHINE_H
+#define MEMENTO_MACHINE_MACHINE_H
+
+#include <memory>
+#include <vector>
+
+#include "hw/bypass.h"
+#include "hw/hot.h"
+#include "hw/hw_object_allocator.h"
+#include "hw/hw_page_allocator.h"
+#include "hw/memento_allocator.h"
+#include "mem/cache_hierarchy.h"
+#include "mem/env.h"
+#include "mem/page_walker.h"
+#include "mem/tlb.h"
+#include "os/buddy_allocator.h"
+#include "os/kernel_cost.h"
+#include "os/process.h"
+#include "rt/allocator.h"
+#include "sim/config.h"
+#include "sim/cycles.h"
+#include "sim/stats.h"
+#include "wl/workloads.h"
+
+namespace memento {
+
+/** The full-system model. */
+class Machine : public Env
+{
+  public:
+    explicit Machine(const MachineConfig &cfg);
+    ~Machine() override;
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    // ---- Env ----
+    void chargeInstructions(InstCount n) override;
+    void chargeCycles(Cycles n) override;
+    Cycles accessVirtual(Addr vaddr, AccessType type) override;
+    Cycles accessPhysical(Addr paddr, AccessType type,
+                          AccessAttrs attrs = {}) override;
+    Cycles installPhysical(Addr paddr) override;
+    Cycles now() const override { return ledger_.total(); }
+    CycleLedger &ledger() override { return ledger_; }
+    void tlbInvalidate(Addr vaddr) override;
+
+    // ---- Process management ----
+
+    /**
+     * Create a process running the runtime that @p spec's language
+     * uses (or the Memento allocator when the machine has Memento).
+     * The first created process becomes current.
+     *
+     * @return process index for switchTo().
+     */
+    unsigned createProcess(const WorkloadSpec &spec);
+
+    /** Context switch to process @p index (charges kernel costs). */
+    void switchTo(unsigned index);
+
+    /** The current process's allocator. */
+    Allocator &allocator();
+
+    /** The current process. */
+    Process &process();
+
+    /** Base of the current process's static working-set region. */
+    Addr staticBase() const;
+
+    // ---- Application-issued operations ----
+
+    /**
+     * Retire @p n application instructions (AppCompute category).
+     */
+    void appCompute(InstCount n);
+
+    /**
+     * Application load/store to @p vaddr. Translation cost is fully
+     * exposed; hierarchy latency is partially hidden by the OOO window
+     * (core.memLatencyHiddenFraction). Classified for main-memory
+     * bypass when it falls in the Memento region.
+     */
+    void appAccess(Addr vaddr, AccessType type);
+
+    // ---- Introspection ----
+    const MachineConfig &config() const { return cfg_; }
+    StatRegistry &stats() { return stats_; }
+    const CycleLedger &cycleLedger() const { return ledger_; }
+    CacheHierarchy &hierarchy() { return *hier_; }
+    BuddyAllocator &buddy() { return *buddy_; }
+    Hot *hot() { return hot_.get(); }
+    HwObjectAllocator *hwObjectAllocator() { return hwObj_.get(); }
+    HwPageAllocator *hwPageAllocator() { return hwPage_.get(); }
+    BypassUnit *bypassUnit() { return bypass_.get(); }
+    MementoSpace *mementoSpace();
+    KernelCostModel &kernelCosts() { return kernelCosts_; }
+
+    /** Total retired instructions (all categories). */
+    std::uint64_t instructions() const { return instructions_.value(); }
+
+  private:
+    struct ProcContext
+    {
+        std::unique_ptr<Process> process;
+        std::unique_ptr<MementoSpace> space; ///< Null without Memento.
+        std::unique_ptr<Allocator> allocator;
+        Addr staticBase = 0;
+        std::uint64_t staticWsBytes = 0;
+    };
+
+    /** TLB fill + page walk + fault path; returns the physical addr. */
+    Addr translate(Addr vaddr);
+    /** Walk the Memento page table, populating on demand. */
+    Addr mementoWalk(Addr vaddr);
+
+    MachineConfig cfg_;
+    StatRegistry stats_;
+    CycleLedger ledger_;
+
+    std::unique_ptr<CacheHierarchy> hier_;
+    std::unique_ptr<Tlb> l1Tlb_;
+    std::unique_ptr<Tlb> l2Tlb_;
+    std::unique_ptr<PageWalker> walker_;
+    std::unique_ptr<BuddyAllocator> buddy_;
+    KernelCostModel kernelCosts_;
+
+    // Memento hardware (null when disabled).
+    std::unique_ptr<ArenaGeometry> geometry_;
+    std::unique_ptr<Hot> hot_;
+    std::unique_ptr<HwPageAllocator> hwPage_;
+    std::unique_ptr<HwObjectAllocator> hwObj_;
+    std::unique_ptr<BypassUnit> bypass_;
+
+    std::vector<ProcContext> procs_;
+    unsigned current_ = 0;
+    int nextPid_ = 1;
+
+    Counter instructions_;
+    Counter appLoads_;
+    Counter appStores_;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_MACHINE_MACHINE_H

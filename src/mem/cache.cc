@@ -1,0 +1,173 @@
+#include "mem/cache.h"
+
+#include "sim/logging.h"
+
+namespace memento {
+
+Cache::Cache(const std::string &name, const CacheConfig &cfg,
+             StatRegistry &stats)
+    : name_(name),
+      numSets_(cfg.numSets()),
+      ways_(cfg.ways),
+      latency_(cfg.latency),
+      lines_(numSets_ * ways_),
+      hits_(stats.counter(name + ".hits")),
+      misses_(stats.counter(name + ".misses")),
+      evictions_(stats.counter(name + ".evictions")),
+      dirtyEvictions_(stats.counter(name + ".dirty_evictions"))
+{
+    fatal_if(numSets_ == 0, "cache ", name, ": zero sets");
+    fatal_if(!isPowerOfTwo(numSets_), "cache ", name,
+             ": set count must be a power of two");
+}
+
+std::uint64_t
+Cache::setIndex(Addr paddr) const
+{
+    return (paddr >> kLineShift) & (numSets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr paddr) const
+{
+    return paddr >> kLineShift;
+}
+
+bool
+Cache::access(Addr paddr, bool is_write)
+{
+    const std::uint64_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    Line *base = &lines_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = ++lruClock_;
+            if (is_write)
+                line.dirty = true;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+Cache::contains(Addr paddr) const
+{
+    const std::uint64_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    const Line *base = &lines_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+Cache::Eviction
+Cache::install(Addr paddr, bool dirty)
+{
+    const std::uint64_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    Line *base = &lines_[set * ways_];
+
+    // Already resident: just refresh.
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = ++lruClock_;
+            line.dirty = line.dirty || dirty;
+            return {};
+        }
+    }
+
+    // Find an invalid way, else the LRU victim.
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+    }
+    Eviction evicted;
+    if (!victim) {
+        victim = &base[0];
+        for (unsigned w = 1; w < ways_; ++w) {
+            if (base[w].lruStamp < victim->lruStamp)
+                victim = &base[w];
+        }
+        evicted.valid = true;
+        evicted.lineAddr = victim->tag << kLineShift;
+        evicted.dirty = victim->dirty;
+        ++evictions_;
+        if (victim->dirty)
+            ++dirtyEvictions_;
+    }
+
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->tag = tag;
+    victim->lruStamp = ++lruClock_;
+    return evicted;
+}
+
+bool
+Cache::invalidate(Addr paddr)
+{
+    const std::uint64_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    Line *base = &lines_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            bool was_dirty = line.dirty;
+            line.valid = false;
+            line.dirty = false;
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+void
+Cache::markDirty(Addr paddr)
+{
+    const std::uint64_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    Line *base = &lines_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.dirty = true;
+            return;
+        }
+    }
+}
+
+std::uint64_t
+Cache::flushAll()
+{
+    std::uint64_t dirty = 0;
+    for (Line &line : lines_) {
+        if (line.valid && line.dirty)
+            ++dirty;
+        line.valid = false;
+        line.dirty = false;
+    }
+    return dirty;
+}
+
+std::uint64_t
+Cache::residentLines() const
+{
+    std::uint64_t n = 0;
+    for (const Line &line : lines_) {
+        if (line.valid)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace memento

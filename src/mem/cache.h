@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A functional set-associative cache model (tags only, LRU, write-back).
+ *
+ * The cache stores no data: it tracks which physical lines are resident
+ * and dirty so the hierarchy can compute hit/miss latencies and DRAM
+ * traffic. Timing is owned by CacheHierarchy.
+ */
+
+#ifndef MEMENTO_MEM_CACHE_H
+#define MEMENTO_MEM_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace memento {
+
+/** One set-associative write-back cache level. */
+class Cache
+{
+  public:
+    /** Result of installing a line: the victim, if one was evicted. */
+    struct Eviction
+    {
+        bool valid = false;
+        Addr lineAddr = 0;
+        bool dirty = false;
+    };
+
+    /**
+     * @param name Stat prefix, e.g. "l1d".
+     * @param cfg Geometry and latency.
+     * @param stats Registry receiving <name>.hits / <name>.misses.
+     */
+    Cache(const std::string &name, const CacheConfig &cfg,
+          StatRegistry &stats);
+
+    /**
+     * Look up @p paddr; on a hit, update LRU and (for writes) the dirty
+     * bit. Does not allocate on miss — the hierarchy installs lines
+     * explicitly so it can model bypass and inclusion.
+     *
+     * @return true on hit.
+     */
+    bool access(Addr paddr, bool is_write);
+
+    /** True if the line holding @p paddr is resident (no LRU update). */
+    bool contains(Addr paddr) const;
+
+    /**
+     * Install the line holding @p paddr, evicting the set's LRU entry if
+     * the set is full. @p dirty marks the new line dirty on arrival.
+     */
+    Eviction install(Addr paddr, bool dirty);
+
+    /**
+     * Remove the line holding @p paddr if resident.
+     * @return true if the line was present and dirty.
+     */
+    bool invalidate(Addr paddr);
+
+    /** Mark the resident line holding @p paddr dirty (no-op if absent). */
+    void markDirty(Addr paddr);
+
+    /** Invalidate everything (returns number of dirty lines dropped). */
+    std::uint64_t flushAll();
+
+    /** Access latency from the configuration. */
+    Cycles latency() const { return latency_; }
+
+    /** Number of resident lines (for tests). */
+    std::uint64_t residentLines() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::uint64_t setIndex(Addr paddr) const;
+    Addr tagOf(Addr paddr) const;
+
+    std::string name_;
+    std::uint64_t numSets_;
+    unsigned ways_;
+    Cycles latency_;
+    std::vector<Line> lines_; ///< numSets_ x ways_, row-major.
+    std::uint64_t lruClock_ = 0;
+
+    Counter hits_;
+    Counter misses_;
+    Counter evictions_;
+    Counter dirtyEvictions_;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_MEM_CACHE_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The three-level inclusive cache hierarchy (L1I/L1D + L2 + LLC).
+ *
+ * Inclusion is maintained by back-invalidating inner levels when the LLC
+ * evicts; dirty inner evictions merge downward; LLC dirty evictions write
+ * back to DRAM through the MemoryController. The hierarchy also
+ * implements the Memento main-memory bypass: a missing line flagged
+ * bypassCandidate is instantiated zero-filled at the LLC (§3.3) instead
+ * of being fetched, which removes the DRAM read from both the critical
+ * path and the traffic totals.
+ */
+
+#ifndef MEMENTO_MEM_CACHE_HIERARCHY_H
+#define MEMENTO_MEM_CACHE_HIERARCHY_H
+
+#include "mem/access.h"
+#include "mem/cache.h"
+#include "mem/memory_controller.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace memento {
+
+/** L1I/L1D + unified L2 + LLC slice in front of the memory controller. */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const MachineConfig &cfg, StatRegistry &stats);
+
+    /**
+     * Perform a line access on behalf of the core or a hardware unit.
+     *
+     * @param paddr Physical address (any byte within the line).
+     * @param type Read, Write, or Fetch.
+     * @param now Current core cycle.
+     * @param attrs Bypass eligibility.
+     */
+    AccessResult access(Addr paddr, AccessType type, Cycles now,
+                        AccessAttrs attrs = {});
+
+    /**
+     * Instantiate a line dirty at the L1D without fetching it from
+     * anywhere (used for full-line stores to freshly allocated memory
+     * and for hardware-initialized metadata).
+     */
+    Cycles installLine(Addr paddr, Cycles now);
+
+    /** Lines instantiated at the LLC via the bypass mechanism. */
+    std::uint64_t bypassedLines() const { return bypasses_.value(); }
+
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &llc() const { return llc_; }
+    const MemoryController &memCtrl() const { return memCtrl_; }
+
+  private:
+    /** Handle an eviction out of the L1 (merge into L2). */
+    void absorbL1Eviction(const Cache::Eviction &ev, Cycles now);
+    /** Handle an eviction out of the L2 (merge into LLC). */
+    void absorbL2Eviction(const Cache::Eviction &ev, Cycles now);
+    /** Handle an eviction out of the LLC (writeback + back-invalidate). */
+    void absorbLlcEviction(const Cache::Eviction &ev, Cycles now);
+    /** Install into L1/L2/LLC with inclusion maintenance. */
+    void installAllLevels(Cache &l1, Addr paddr, bool dirty, Cycles now);
+
+    Cache l1d_;
+    Cache l1i_;
+    Cache l2_;
+    Cache llc_;
+    MemoryController memCtrl_;
+
+    Counter bypasses_;
+    Counter demandFills_;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_MEM_CACHE_HIERARCHY_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Execution environment interface.
+ *
+ * Software models (OS kernel paths, userspace allocators) and hardware
+ * units execute against this interface: they retire instructions and
+ * perform memory references without knowing how the Machine wires the
+ * TLBs, caches and DRAM together. The Machine implements it.
+ *
+ * All charge/access calls add to the machine's cycle ledger under the
+ * caller's current CycleCategory.
+ */
+
+#ifndef MEMENTO_MEM_ENV_H
+#define MEMENTO_MEM_ENV_H
+
+#include "mem/access.h"
+#include "sim/cycles.h"
+#include "sim/types.h"
+
+namespace memento {
+
+/** The world as seen by an executing software or hardware model. */
+class Env
+{
+  public:
+    virtual ~Env() = default;
+
+    /** Retire @p n instructions (cycles = n / baseIpc). */
+    virtual void chargeInstructions(InstCount n) = 0;
+
+    /** Charge @p n raw cycles (fixed hardware latencies). */
+    virtual void chargeCycles(Cycles n) = 0;
+
+    /**
+     * Perform a data reference to virtual address @p vaddr: translation
+     * (TLBs, page walk, fault handling) plus the cache access. The full
+     * critical-path latency is charged; it is also returned.
+     */
+    virtual Cycles accessVirtual(Addr vaddr, AccessType type) = 0;
+
+    /**
+     * Perform a data reference to physical address @p paddr (hardware
+     * units and kernel structures addressed physically). Charged and
+     * returned.
+     */
+    virtual Cycles accessPhysical(Addr paddr, AccessType type,
+                                  AccessAttrs attrs = {}) = 0;
+
+    /**
+     * Instantiate a line dirty in the L1D without fetching it (hardware
+     * metadata initialization, e.g. a fresh arena header). Charged and
+     * returned.
+     */
+    virtual Cycles installPhysical(Addr paddr) = 0;
+
+    /** Current cycle. */
+    virtual Cycles now() const = 0;
+
+    /** The machine's cycle ledger (for CategoryScope). */
+    virtual CycleLedger &ledger() = 0;
+
+    /** Invalidate the translation for @p vaddr in all TLB levels. */
+    virtual void tlbInvalidate(Addr vaddr) = 0;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_MEM_ENV_H

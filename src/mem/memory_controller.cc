@@ -1,0 +1,3 @@
+#include "mem/memory_controller.h"
+
+// Header-only for now; this translation unit anchors the component.

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Memory controller: the hierarchy's gateway to DRAM.
+ *
+ * In the paper the hardware page allocator lives here; in this model the
+ * controller owns the DRAM device and exposes the fill/writeback
+ * operations the LLC needs, so the HwPageAllocator (src/hw) can be
+ * attached next to it by the Machine.
+ */
+
+#ifndef MEMENTO_MEM_MEMORY_CONTROLLER_H
+#define MEMENTO_MEM_MEMORY_CONTROLLER_H
+
+#include "mem/dram.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace memento {
+
+/** Routes LLC fills and writebacks to DRAM and accounts traffic. */
+class MemoryController
+{
+  public:
+    MemoryController(const DramConfig &cfg, StatRegistry &stats)
+        : dram_(cfg, stats)
+    {
+    }
+
+    /** Read the line holding @p paddr; returns critical-path latency. */
+    Cycles
+    fill(Addr paddr, Cycles now)
+    {
+        return dram_.access(paddr, /*is_write=*/false, now);
+    }
+
+    /** Post a writeback of the line holding @p paddr. */
+    void
+    writeback(Addr paddr, Cycles now)
+    {
+        dram_.access(paddr, /*is_write=*/true, now);
+    }
+
+    const Dram &dram() const { return dram_; }
+
+  private:
+    Dram dram_;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_MEM_MEMORY_CONTROLLER_H

@@ -1,0 +1,3 @@
+#include "mem/page_walker.h"
+
+// Header-only; this translation unit anchors the component.

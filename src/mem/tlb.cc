@@ -1,0 +1,117 @@
+#include "mem/tlb.h"
+
+#include "sim/logging.h"
+
+namespace memento {
+
+Tlb::Tlb(const std::string &name, const TlbConfig &cfg, StatRegistry &stats)
+    : name_(name),
+      numSets_(cfg.entries / cfg.ways),
+      ways_(cfg.ways),
+      latency_(cfg.latency),
+      entries_(numSets_ * cfg.ways),
+      hits_(stats.counter(name + ".hits")),
+      misses_(stats.counter(name + ".misses"))
+{
+    // A 2048-entry 12-way TLB (Table 3) is not evenly divisible; round
+    // the set count down as real designs do (capacity 2040 here).
+    fatal_if(cfg.entries < cfg.ways, "tlb ", name, ": too few entries");
+}
+
+std::uint64_t
+Tlb::setIndex(Addr vpage) const
+{
+    return vpage % numSets_;
+}
+
+Tlb::Entry *
+Tlb::find(Addr vaddr)
+{
+    for (unsigned shift : {kPageShift, kHugePageShift}) {
+        const Addr vpage = vaddr >> shift;
+        Entry *base = &entries_[setIndex(vpage) * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            Entry &e = base[w];
+            if (e.valid && e.shift == shift && e.vpage == vpage)
+                return &e;
+        }
+    }
+    return nullptr;
+}
+
+std::optional<Addr>
+Tlb::lookup(Addr vaddr)
+{
+    if (Entry *e = find(vaddr)) {
+        e->lruStamp = ++lruClock_;
+        ++hits_;
+        return e->pbase;
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+std::optional<Addr>
+Tlb::translate(Addr vaddr)
+{
+    if (Entry *e = find(vaddr)) {
+        e->lruStamp = ++lruClock_;
+        ++hits_;
+        return e->pbase + (vaddr & ((1ull << e->shift) - 1));
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+void
+Tlb::insert(Addr vaddr, Addr paddr, unsigned shift)
+{
+    const Addr vpage = vaddr >> shift;
+    Entry *base = &entries_[setIndex(vpage) * ways_];
+
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.shift == shift && e.vpage == vpage) {
+            victim = &e; // Update in place.
+            break;
+        }
+        if (!e.valid && !victim)
+            victim = &e;
+    }
+    if (!victim) {
+        victim = &base[0];
+        for (unsigned w = 1; w < ways_; ++w) {
+            if (base[w].lruStamp < victim->lruStamp)
+                victim = &base[w];
+        }
+    }
+    victim->valid = true;
+    victim->shift = shift;
+    victim->vpage = vpage;
+    victim->pbase = paddr & ~((1ull << shift) - 1);
+    victim->lruStamp = ++lruClock_;
+}
+
+void
+Tlb::invalidatePage(Addr vaddr)
+{
+    for (unsigned shift : {kPageShift, kHugePageShift}) {
+        const Addr vpage = vaddr >> shift;
+        Entry *base = &entries_[setIndex(vpage) * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            Entry &e = base[w];
+            if (e.valid && e.shift == shift && e.vpage == vpage)
+                e.valid = false;
+        }
+    }
+}
+
+void
+Tlb::flushAll()
+{
+    for (Entry &e : entries_)
+        e.valid = false;
+}
+
+} // namespace memento

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Set-associative TLB model (used for both the L1 and L2 levels).
+ */
+
+#ifndef MEMENTO_MEM_TLB_H
+#define MEMENTO_MEM_TLB_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace memento {
+
+/** Shift of a 2 MiB huge page. */
+inline constexpr unsigned kHugePageShift = 21;
+
+/** One level of virtual-to-physical translation caching. */
+class Tlb
+{
+  public:
+    Tlb(const std::string &name, const TlbConfig &cfg, StatRegistry &stats);
+
+    /**
+     * Look up the page containing @p vaddr (both 4 KiB and 2 MiB
+     * granularities are probed).
+     * @return the physical page base on a hit (base of the entry's own
+     *         granularity).
+     */
+    std::optional<Addr> lookup(Addr vaddr);
+
+    /**
+     * Insert a translation for the page of @p vaddr at @p shift
+     * granularity (4 KiB by default; pass kHugePageShift for THP).
+     */
+    void insert(Addr vaddr, Addr paddr, unsigned shift = kPageShift);
+
+    /** Translate @p vaddr fully (base + offset) on a hit. */
+    std::optional<Addr> translate(Addr vaddr);
+
+    /** Drop the translation for the page of @p vaddr (shootdown). */
+    void invalidatePage(Addr vaddr);
+
+    /** Drop every translation (context switch). */
+    void flushAll();
+
+    Cycles latency() const { return latency_; }
+
+    std::uint64_t hitCount() const { return hits_.value(); }
+    std::uint64_t missCount() const { return misses_.value(); }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        unsigned shift = kPageShift;
+        Addr vpage = 0; ///< vaddr >> shift.
+        Addr pbase = 0; ///< Physical base at the entry's granularity.
+        std::uint64_t lruStamp = 0;
+    };
+
+    Entry *find(Addr vaddr);
+    std::uint64_t setIndex(Addr vpage) const;
+
+    std::string name_;
+    std::uint64_t numSets_;
+    unsigned ways_;
+    Cycles latency_;
+    std::vector<Entry> entries_;
+    std::uint64_t lruClock_ = 0;
+
+    Counter hits_;
+    Counter misses_;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_MEM_TLB_H

@@ -1,0 +1,110 @@
+#include "os/buddy_allocator.h"
+
+#include "sim/logging.h"
+
+namespace memento {
+
+BuddyAllocator::BuddyAllocator(Addr base, std::uint64_t size_bytes,
+                               StatRegistry &stats)
+    : base_(base),
+      totalPages_(size_bytes / kPageSize),
+      freeLists_(kMaxOrder + 1),
+      allocCalls_(stats.counter("buddy.alloc_calls")),
+      freeCalls_(stats.counter("buddy.free_calls")),
+      splits_(stats.counter("buddy.splits")),
+      coalesces_(stats.counter("buddy.coalesces")),
+      peakPages_(stats.counter("buddy.peak_pages"))
+{
+    fatal_if(base % kPageSize != 0, "buddy: unaligned base");
+    const std::uint64_t max_block_pages = 1ull << kMaxOrder;
+    fatal_if(totalPages_ == 0 || totalPages_ % max_block_pages != 0,
+             "buddy: size must be a multiple of the max block size");
+
+    for (std::uint64_t page = 0; page < totalPages_;
+         page += max_block_pages) {
+        freeLists_[kMaxOrder].insert(base_ + page * kPageSize);
+    }
+}
+
+Addr
+BuddyAllocator::buddyOf(Addr addr, unsigned order) const
+{
+    const std::uint64_t block_bytes = kPageSize << order;
+    return base_ + (((addr - base_) ^ block_bytes));
+}
+
+Addr
+BuddyAllocator::allocate(unsigned order)
+{
+    panic_if(order > kMaxOrder, "buddy: order too large");
+    ++allocCalls_;
+
+    // Find the smallest available order >= requested.
+    unsigned avail = order;
+    while (avail <= kMaxOrder && freeLists_[avail].empty())
+        ++avail;
+    if (avail > kMaxOrder)
+        return kNullAddr;
+
+    Addr block = *freeLists_[avail].begin();
+    freeLists_[avail].erase(freeLists_[avail].begin());
+
+    // Split down to the requested order, returning upper halves.
+    while (avail > order) {
+        --avail;
+        ++splits_;
+        const Addr upper = block + (kPageSize << avail);
+        freeLists_[avail].insert(upper);
+    }
+
+    liveBlocks_[block] = order;
+    allocatedPages_ += 1ull << order;
+    peakPages_.raiseTo(allocatedPages_);
+    return block;
+}
+
+void
+BuddyAllocator::free(Addr addr, unsigned order)
+{
+    ++freeCalls_;
+    auto it = liveBlocks_.find(addr);
+    panic_if(it == liveBlocks_.end(), "buddy: free of unallocated block 0x",
+             std::hex, addr);
+    panic_if(it->second != order, "buddy: free order mismatch");
+    liveBlocks_.erase(it);
+    allocatedPages_ -= 1ull << order;
+
+    // Coalesce with free buddies while possible.
+    Addr block = addr;
+    while (order < kMaxOrder) {
+        const Addr buddy = buddyOf(block, order);
+        auto buddy_it = freeLists_[order].find(buddy);
+        if (buddy_it == freeLists_[order].end())
+            break;
+        freeLists_[order].erase(buddy_it);
+        ++coalesces_;
+        block = block < buddy ? block : buddy;
+        ++order;
+    }
+    freeLists_[order].insert(block);
+}
+
+bool
+BuddyAllocator::checkInvariants() const
+{
+    std::uint64_t free_pages = 0;
+    for (unsigned order = 0; order <= kMaxOrder; ++order) {
+        for (Addr block : freeLists_[order]) {
+            if ((block - base_) % (kPageSize << order) != 0)
+                return false;
+            free_pages += 1ull << order;
+        }
+    }
+    std::uint64_t live_pages = 0;
+    for (const auto &[addr, order] : liveBlocks_)
+        live_pages += 1ull << order;
+    return free_pages + live_pages == totalPages_ &&
+           live_pages == allocatedPages_;
+}
+
+} // namespace memento

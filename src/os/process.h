@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A simulated process: an address space plus the per-process Memento
+ * region registers that the OS spills and restores on context switches.
+ */
+
+#ifndef MEMENTO_OS_PROCESS_H
+#define MEMENTO_OS_PROCESS_H
+
+#include <memory>
+#include <string>
+
+#include "os/virtual_memory.h"
+#include "sim/config.h"
+
+namespace memento {
+
+/** Per-process Memento control registers (§3.2). */
+struct MementoRegs
+{
+    Addr mrs = 0;  ///< Memento Region Start.
+    Addr mre = 0;  ///< Memento Region End.
+    Addr mptr = 0; ///< Memento Page Table Root (0 = none yet).
+};
+
+/** One schedulable process with its own address space. */
+class Process
+{
+  public:
+    Process(int pid, const std::string &name, const MachineConfig &cfg,
+            BuddyAllocator &buddy, StatRegistry &stats);
+
+    int pid() const { return pid_; }
+    const std::string &name() const { return name_; }
+
+    VirtualMemory &vm() { return *vm_; }
+    const VirtualMemory &vm() const { return *vm_; }
+
+    MementoRegs &mementoRegs() { return mementoRegs_; }
+    const MementoRegs &mementoRegs() const { return mementoRegs_; }
+
+  private:
+    int pid_;
+    std::string name_;
+    std::unique_ptr<VirtualMemory> vm_;
+    MementoRegs mementoRegs_;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_OS_PROCESS_H

@@ -1,0 +1,3 @@
+#include "rt/allocator.h"
+
+// Interface-only translation unit.

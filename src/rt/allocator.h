@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The userspace allocator interface the simulated application calls.
+ *
+ * Implementations are *models of algorithms*: they maintain the same
+ * metadata structures as the real allocators, place that metadata at
+ * real simulated virtual addresses, and touch it through Env so that
+ * cache behaviour, TLB behaviour, page faults and kernel calls all
+ * surface exactly where the real software would cause them.
+ *
+ * malloc() charges under CycleCategory::UserAlloc, free() under
+ * UserFree; kernel work they trigger re-scopes itself (see
+ * VirtualMemory).
+ */
+
+#ifndef MEMENTO_RT_ALLOCATOR_H
+#define MEMENTO_RT_ALLOCATOR_H
+
+#include <cstdint>
+#include <string>
+
+#include "mem/env.h"
+#include "sim/types.h"
+
+namespace memento {
+
+/** Abstract userspace allocator. */
+class Allocator
+{
+  public:
+    virtual ~Allocator() = default;
+
+    /**
+     * Allocate @p size bytes.
+     * @return virtual address of the object (never kNullAddr).
+     */
+    virtual Addr malloc(std::uint64_t size, Env &env) = 0;
+
+    /**
+     * Release the object at @p ptr. For garbage-collected runtimes this
+     * records unreachability; reclamation may be deferred to a GC cycle
+     * or to functionExit().
+     */
+    virtual void free(Addr ptr, Env &env) = 0;
+
+    /**
+     * Function/process teardown: batch-free everything still live and
+     * return memory to the OS (the "freed by the OS when the function
+     * exits" path of §2.2).
+     */
+    virtual void functionExit(Env &env) = 0;
+
+    /** True when @p ptr is a live allocation (test/validation hook). */
+    virtual bool isLive(Addr ptr) const = 0;
+
+    /** Bytes currently live (requested sizes). */
+    virtual std::uint64_t liveBytes() const = 0;
+
+    /**
+     * Fraction of small-object slots currently tracked by the
+     * allocator's metadata that are not live (the §6.6 fragmentation
+     * metric; mixes fragmentation and free memory).
+     */
+    virtual double inactiveSlotFraction() const { return 0.0; }
+
+    /** Allocator display name. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_RT_ALLOCATOR_H

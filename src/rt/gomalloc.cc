@@ -1,0 +1,243 @@
+#include "rt/gomalloc.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace memento {
+
+GoMalloc::GoMalloc(VirtualMemory &vm, StatRegistry &stats)
+    : GoMalloc(vm, stats, Params{})
+{
+}
+
+GoMalloc::GoMalloc(VirtualMemory &vm, StatRegistry &stats, Params params)
+    : vm_(vm),
+      params_(params),
+      large_(vm, stats, "gomalloc"),
+      partialSpans_(kNumSmallClasses),
+      smallMallocs_(stats.counter("gomalloc.small_mallocs")),
+      deaths_(stats.counter("gomalloc.deaths")),
+      gcRuns_(stats.counter("gomalloc.gc_runs")),
+      sweptObjects_(stats.counter("gomalloc.swept_objects")),
+      arenaMmaps_(stats.counter("gomalloc.arena_mmaps")),
+      spanCarves_(stats.counter("gomalloc.span_carves"))
+{
+    fatal_if(!isPowerOfTwo(params_.spanBytes) ||
+                 params_.spanBytes < kPageSize,
+             "gomalloc: span size must be a power-of-two >= page size");
+    fatal_if(params_.arenaBytes % params_.spanBytes != 0,
+             "gomalloc: arena size must be a multiple of the span size");
+    // mspan records live in runtime-managed memory, demand-faulted as
+    // the heap grows (this is kernel-visible metadata growth).
+    metaRegion_ = vm_.mmap(256 * kPageSize, nullptr);
+}
+
+Addr
+GoMalloc::spanBaseOf(Addr ptr) const
+{
+    return ptr & ~(params_.spanBytes - 1);
+}
+
+GoMalloc::Span &
+GoMalloc::newSpan(unsigned cls, Env &env)
+{
+    ++spanCarves_;
+    Addr base;
+    if (!idleSpans_.empty()) {
+        base = idleSpans_.back();
+        idleSpans_.pop_back();
+        spans_.erase(base);
+    } else {
+        if (arenas_.empty() || arenaCursor_ + params_.spanBytes >
+                                   params_.arenaBytes) {
+            // mheap growth: reserve a new arena from the OS. Go's
+            // reservations are huge, so this is rare but expensive.
+            ++arenaMmaps_;
+            env.chargeInstructions(350);
+            arenas_.push_back(vm_.mmap(params_.arenaBytes, &env, false,
+                                       params_.spanBytes));
+            arenaCursor_ = 0;
+        }
+        base = arenas_.back() + arenaCursor_;
+        arenaCursor_ += params_.spanBytes;
+    }
+
+    Span span;
+    span.base = base;
+    span.szclass = cls;
+    span.capacity =
+        static_cast<unsigned>(params_.spanBytes / sizeClassBytes(cls));
+    span.metaAddr = metaRegion_ + metaCursor_;
+    metaCursor_ = (metaCursor_ + 64) % (256 * kPageSize);
+
+    // mcentral span acquisition: list surgery plus mspan init.
+    env.chargeInstructions(230);
+    env.accessVirtual(span.metaAddr, AccessType::Write);
+
+    auto [it, inserted] = spans_.emplace(base, span);
+    panic_if(!inserted, "gomalloc: span already exists at 0x", std::hex,
+             base);
+    partialSpans_[cls].push_back(base);
+    return it->second;
+}
+
+GoMalloc::Span &
+GoMalloc::spanForClass(unsigned cls, Env &env)
+{
+    auto &list = partialSpans_[cls];
+    while (!list.empty()) {
+        Span &span = spans_.at(list.back());
+        if (!span.freeList.empty() || span.carved < span.capacity)
+            return span;
+        list.pop_back(); // Exhausted; drop from the partial list.
+    }
+    return newSpan(cls, env);
+}
+
+Addr
+GoMalloc::malloc(std::uint64_t size, Env &env)
+{
+    fatal_if(size == 0, "gomalloc: zero-size malloc");
+    if (size > kMaxSmallSize)
+        return large_.malloc(size, env);
+
+    if (params_.gcTriggerBytes != 0 &&
+        bytesSinceGc_ >= params_.gcTriggerBytes)
+        runGc(env);
+
+    CategoryScope scope(env.ledger(), CycleCategory::UserAlloc);
+    ++smallMallocs_;
+    env.chargeInstructions(85); // mallocgc small-object budget.
+
+    const unsigned cls = sizeClassIndex(size);
+    Span &span = spanForClass(cls, env);
+    env.accessVirtual(span.metaAddr, AccessType::Read);
+
+    Addr obj;
+    if (!span.freeList.empty()) {
+        obj = span.freeList.back();
+        span.freeList.pop_back();
+    } else {
+        obj = span.base + static_cast<std::uint64_t>(span.carved) *
+                              sizeClassBytes(cls);
+        ++span.carved;
+    }
+    ++span.liveCount;
+    env.accessVirtual(span.metaAddr, AccessType::Write); // allocBits.
+
+    // mallocgc zeroes the object: this write is what demand-faults the
+    // heap page on the allocation path.
+    env.accessVirtual(obj, AccessType::Write);
+
+    live_[obj] = static_cast<std::uint32_t>(size);
+    liveBytes_ += size;
+    bytesSinceGc_ += sizeClassBytes(cls);
+    return obj;
+}
+
+void
+GoMalloc::free(Addr ptr, Env &env)
+{
+    if (large_.owns(ptr)) {
+        large_.free(ptr, env);
+        return;
+    }
+
+    // Becoming unreachable costs nothing at the moment of death; the
+    // object is reclaimed by a future GC sweep (or batch-freed at
+    // function exit by the OS).
+    auto it = live_.find(ptr);
+    panic_if(it == live_.end(), "gomalloc: death of non-live 0x", std::hex,
+             ptr);
+    ++deaths_;
+    liveBytes_ -= it->second;
+    live_.erase(it);
+
+    Span &span = spans_.at(spanBaseOf(ptr));
+    span.dead.push_back(ptr);
+    --span.liveCount;
+    (void)env;
+}
+
+void
+GoMalloc::runGc(Env &env)
+{
+    ++gcRuns_;
+    CategoryScope scope(env.ledger(), CycleCategory::UserFree);
+
+    // Mark: proportional to the live set.
+    env.chargeInstructions(20 * live_.size() + 4000);
+
+    // Sweep: visit spans with garbage, rebuild their free lists.
+    for (auto &[base, span] : spans_) {
+        if (span.dead.empty())
+            continue;
+        env.chargeInstructions(60 + 12 * span.dead.size());
+        env.accessVirtual(span.metaAddr, AccessType::Write);
+        sweptObjects_ += span.dead.size();
+        const bool was_exhausted =
+            span.freeList.empty() && span.carved == span.capacity;
+        for (Addr obj : span.dead)
+            span.freeList.push_back(obj);
+        span.dead.clear();
+        if (was_exhausted && span.liveCount > 0)
+            partialSpans_[span.szclass].push_back(base);
+        if (span.liveCount == 0) {
+            // Fully free span: hand it back to the mheap. It must leave
+            // its class's partial list or a later allocation of that
+            // class could find a span that has been repurposed.
+            auto &pl = partialSpans_[span.szclass];
+            pl.erase(std::remove(pl.begin(), pl.end(), base), pl.end());
+            idleSpans_.push_back(base);
+            if (params_.scavenge) {
+                // Return the span's pages to the OS; reuse refaults.
+                vm_.madviseFree(base, params_.spanBytes, &env);
+            }
+        }
+    }
+    bytesSinceGc_ = 0;
+}
+
+void
+GoMalloc::functionExit(Env &env)
+{
+    // Batch free by the OS at process exit: unmap the reservations.
+    CategoryScope scope(env.ledger(), CycleCategory::KernelOther);
+    for (Addr arena : arenas_)
+        vm_.munmap(arena, params_.arenaBytes, &env);
+    arenas_.clear();
+    arenaCursor_ = 0;
+    spans_.clear();
+    idleSpans_.clear();
+    for (auto &list : partialSpans_)
+        list.clear();
+    live_.clear();
+    liveBytes_ = 0;
+    bytesSinceGc_ = 0;
+    large_.releaseAll(env);
+}
+
+double
+GoMalloc::inactiveSlotFraction() const
+{
+    std::uint64_t total = 0;
+    std::uint64_t live = 0;
+    for (const auto &[base, span] : spans_) {
+        if (span.liveCount == 0)
+            continue; // Idle span: free memory, not slack.
+        total += span.capacity;
+        live += span.liveCount;
+    }
+    if (total == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(live) / static_cast<double>(total);
+}
+
+bool
+GoMalloc::isLive(Addr ptr) const
+{
+    return live_.count(ptr) != 0 || large_.owns(ptr);
+}
+
+} // namespace memento

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Model of the Go 1.13 runtime allocator and garbage collector.
+ *
+ * Small objects come from 8 KB spans carved out of large (64 MB) arena
+ * reservations; spans are cached per-P (mcache) and refilled from
+ * mcentral/mheap. Objects are zeroed on allocation (mallocgc), which is
+ * what drags Go's first-touch page faults onto the allocation path and
+ * produces the paper's 56/44 user/kernel split (Table 2). free() only
+ * records unreachability: within a short function the GC never fires,
+ * so everything is batch-freed at exit (§2.2's "long-lived" Go bars in
+ * Fig. 3); long-running processes (the FaaS platform ops) trigger
+ * mark-and-sweep cycles once enough bytes have been allocated.
+ */
+
+#ifndef MEMENTO_RT_GOMALLOC_H
+#define MEMENTO_RT_GOMALLOC_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rt/allocator.h"
+#include "rt/glibc_large.h"
+#include "sim/size_class.h"
+#include "sim/stats.h"
+
+namespace memento {
+
+/** Go-runtime-like allocator with optional GC. */
+class GoMalloc : public Allocator
+{
+  public:
+    struct Params
+    {
+        /** Reservation unit requested from the OS (Go heap arena). */
+        std::uint64_t arenaBytes = 64 << 20;
+        /** Span size. */
+        std::uint64_t spanBytes = 8 << 10;
+        /**
+         * GC trigger: run a cycle when this many bytes have been
+         * allocated since the last one. 0 disables GC (short-lived
+         * functions never reach a trigger).
+         */
+        std::uint64_t gcTriggerBytes = 0;
+        /**
+         * Scavenge fully-free spans after a GC cycle: their pages are
+         * madvised back to the OS and fault in again on reuse (the Go
+         * 1.13 background scavenger). Only meaningful with GC on.
+         */
+        bool scavenge = true;
+    };
+
+    GoMalloc(VirtualMemory &vm, StatRegistry &stats, Params params);
+    GoMalloc(VirtualMemory &vm, StatRegistry &stats);
+
+    Addr malloc(std::uint64_t size, Env &env) override;
+    void free(Addr ptr, Env &env) override;
+    void functionExit(Env &env) override;
+    bool isLive(Addr ptr) const override;
+    std::uint64_t
+    liveBytes() const override
+    {
+        return liveBytes_ + large_.liveBytes();
+    }
+    std::string name() const override { return "gomalloc"; }
+    double inactiveSlotFraction() const override;
+
+    /** Completed GC cycles. */
+    std::uint64_t gcCycles() const { return gcRuns_.value(); }
+
+    /** Run a mark-and-sweep cycle now (also used by tests). */
+    void runGc(Env &env);
+
+  private:
+    struct Span
+    {
+        Addr base = 0;
+        Addr metaAddr = 0;
+        unsigned szclass = 0;
+        unsigned capacity = 0;
+        unsigned carved = 0;
+        unsigned liveCount = 0;
+        std::vector<Addr> freeList;
+        std::vector<Addr> dead; ///< Unreachable, not yet swept.
+    };
+
+    Span &spanForClass(unsigned cls, Env &env);
+    Span &newSpan(unsigned cls, Env &env);
+    Addr spanBaseOf(Addr ptr) const;
+
+    VirtualMemory &vm_;
+    Params params_;
+    GlibcLargeAlloc large_;
+
+    std::unordered_map<Addr, Span> spans_;
+    std::vector<std::vector<Addr>> partialSpans_; ///< Per class.
+    std::vector<Addr> idleSpans_; ///< Fully free, reusable (any class).
+    std::vector<Addr> arenas_;    ///< OS reservations.
+    std::uint64_t arenaCursor_ = 0;
+
+    /** mcache/mcentral metadata region (one record per span). */
+    Addr metaRegion_ = 0;
+    std::uint64_t metaCursor_ = 0;
+
+    std::unordered_map<Addr, std::uint32_t> live_;
+    std::uint64_t liveBytes_ = 0;
+    std::uint64_t bytesSinceGc_ = 0;
+
+    Counter smallMallocs_;
+    Counter deaths_;
+    Counter gcRuns_;
+    Counter sweptObjects_;
+    Counter arenaMmaps_;
+    Counter spanCarves_;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_RT_GOMALLOC_H

@@ -1,0 +1,298 @@
+#include "rt/jemalloc.h"
+
+#include "sim/logging.h"
+
+namespace memento {
+
+JeMalloc::JeMalloc(VirtualMemory &vm, StatRegistry &stats)
+    : JeMalloc(vm, stats, Params{})
+{
+}
+
+JeMalloc::JeMalloc(VirtualMemory &vm, StatRegistry &stats, Params params)
+    : vm_(vm),
+      params_(params),
+      large_(vm, stats, "jemalloc"),
+      tcache_(kNumSmallClasses),
+      partialSlabs_(kNumSmallClasses),
+      smallMallocs_(stats.counter("jemalloc.small_mallocs")),
+      smallFrees_(stats.counter("jemalloc.small_frees")),
+      tcacheFills_(stats.counter("jemalloc.tcache_fills")),
+      tcacheFlushes_(stats.counter("jemalloc.tcache_flushes")),
+      chunkMmaps_(stats.counter("jemalloc.chunk_mmaps")),
+      purges_(stats.counter("jemalloc.purges")),
+      purgedPages_(stats.counter("jemalloc.purged_pages"))
+{
+    fatal_if(!isPowerOfTwo(params_.slabBytes) ||
+                 params_.slabBytes < kPageSize,
+             "jemalloc: slab size must be a power-of-two >= page size");
+    fatal_if(params_.chunkBytes % params_.slabBytes != 0,
+             "jemalloc: chunk size must be a multiple of the slab size");
+
+    // tcache bins metadata (stack pointers per class): pre-populated.
+    tcacheMeta_ = vm_.mmap(kPageSize, nullptr, /*populate=*/true);
+
+    // jemalloc pre-maps (and effectively pre-faults) its first chunk at
+    // library initialization. This is pre-existing state for a warm
+    // function, so no Env is charged.
+    Addr chunk = vm_.mmap(params_.chunkBytes, nullptr,
+                          params_.prefaultFirstChunk, params_.slabBytes);
+    chunks_.push_back(chunk);
+    chunkCursor_ = 0;
+}
+
+Addr
+JeMalloc::slabBaseOf(Addr ptr) const
+{
+    return ptr & ~(params_.slabBytes - 1);
+}
+
+void
+JeMalloc::adjustLivePages(Slab &slab, Addr obj, int delta)
+{
+    if (slab.livePerPage.empty())
+        return;
+    const std::uint64_t size = sizeClassBytes(slab.szclass);
+    const std::size_t first = (obj - slab.base) >> kPageShift;
+    const std::size_t last = (obj + size - 1 - slab.base) >> kPageShift;
+    for (std::size_t page = first; page <= last; ++page) {
+        slab.livePerPage[page] =
+            static_cast<std::uint16_t>(slab.livePerPage[page] + delta);
+    }
+}
+
+JeMalloc::Slab &
+JeMalloc::newSlab(unsigned cls, Env &env)
+{
+    if (chunkCursor_ + params_.slabBytes > params_.chunkBytes) {
+        // Current chunk exhausted: map another (rare).
+        ++chunkMmaps_;
+        env.chargeInstructions(200);
+        Addr chunk = vm_.mmap(params_.chunkBytes, &env, false,
+                              params_.slabBytes);
+        chunks_.push_back(chunk);
+        chunkCursor_ = 0;
+    }
+    Addr base = chunks_.back() + chunkCursor_;
+    chunkCursor_ += params_.slabBytes;
+
+    Slab slab;
+    slab.base = base;
+    slab.szclass = cls;
+    slab.capacity =
+        static_cast<unsigned>(params_.slabBytes / sizeClassBytes(cls));
+    if (params_.purgeIntervalOps != 0)
+        slab.livePerPage.assign(params_.slabBytes / kPageSize, 0);
+    env.chargeInstructions(200);
+    env.accessVirtual(base, AccessType::Write); // Slab header init.
+    auto [it, inserted] = slabs_.emplace(base, slab);
+    panic_if(!inserted, "jemalloc: slab already exists");
+    partialSlabs_[cls].push_back(base);
+    return it->second;
+}
+
+void
+JeMalloc::fillTcache(unsigned cls, Env &env)
+{
+    ++tcacheFills_;
+    env.chargeInstructions(340);
+    env.accessVirtual(tcacheMeta_ + cls * kLineSize / 4,
+                      AccessType::Write);
+
+    unsigned want = params_.batch;
+    while (want > 0) {
+        if (partialSlabs_[cls].empty())
+            newSlab(cls, env);
+        Addr slab_base = partialSlabs_[cls].back();
+        Slab &slab = slabs_.at(slab_base);
+        env.accessVirtual(slab.base, AccessType::Write); // Bitmap update.
+
+        while (want > 0) {
+            Addr obj = kNullAddr;
+            if (!slab.freeList.empty()) {
+                // Address-ordered reuse (jemalloc policy): densify the
+                // slab's low pages so whole pages drain and purge.
+                auto min_it = slab.freeList.begin();
+                for (auto it = slab.freeList.begin();
+                     it != slab.freeList.end(); ++it) {
+                    if (*it < *min_it)
+                        min_it = it;
+                }
+                obj = *min_it;
+                *min_it = slab.freeList.back();
+                slab.freeList.pop_back();
+            } else if (slab.carved < slab.capacity) {
+                obj = slab.base + static_cast<std::uint64_t>(slab.carved) *
+                                      sizeClassBytes(cls);
+                ++slab.carved;
+            } else {
+                break; // Slab has nothing left to hand out.
+            }
+            adjustLivePages(slab, obj, +1);
+            tcache_[cls].push_back(obj);
+            --want;
+        }
+        if (slab.freeList.empty() && slab.carved == slab.capacity)
+            partialSlabs_[cls].pop_back();
+    }
+}
+
+void
+JeMalloc::flushTcache(unsigned cls, Env &env)
+{
+    ++tcacheFlushes_;
+    env.chargeInstructions(300);
+    env.accessVirtual(tcacheMeta_ + cls * kLineSize / 4,
+                      AccessType::Write);
+
+    unsigned flush = params_.batch;
+    auto &stack = tcache_[cls];
+    while (flush > 0 && !stack.empty()) {
+        Addr obj = stack.front();
+        stack.erase(stack.begin());
+        Addr slab_base = slabBaseOf(obj);
+        Slab &slab = slabs_.at(slab_base);
+        const bool was_exhausted =
+            slab.freeList.empty() && slab.carved == slab.capacity;
+        slab.freeList.push_back(obj);
+        adjustLivePages(slab, obj, -1);
+        env.chargeInstructions(16);
+        env.accessVirtual(slab.base, AccessType::Write);
+        if (was_exhausted)
+            partialSlabs_[cls].push_back(slab_base);
+        --flush;
+    }
+}
+
+void
+JeMalloc::maybePurge(Env &env)
+{
+    if (params_.purgeIntervalOps == 0)
+        return;
+    if (++opsSincePurge_ < params_.purgeIntervalOps)
+        return;
+    opsSincePurge_ = 0;
+    ++purges_;
+
+    // jemalloc decay: pages that back no live object are returned to
+    // the OS; the virtual addresses stay valid and fault back in on
+    // reuse. This is what keeps long-running servers' page-fault rates
+    // high even at a stable heap size.
+    CategoryScope scope(env.ledger(), CycleCategory::UserFree);
+    env.chargeInstructions(400);
+    for (auto &[base, slab] : slabs_) {
+        if (slab.livePerPage.empty())
+            continue;
+        for (std::size_t page = 0; page < slab.livePerPage.size();
+             ++page) {
+            if (slab.livePerPage[page] == 0) {
+                // madviseFree of an already-absent page charges
+                // nothing, so repeated purges are harmless.
+                vm_.madviseFree(base + page * kPageSize, kPageSize,
+                                &env);
+                ++purgedPages_;
+            }
+        }
+    }
+}
+
+Addr
+JeMalloc::malloc(std::uint64_t size, Env &env)
+{
+    fatal_if(size == 0, "jemalloc: zero-size malloc");
+    if (size > kMaxSmallSize)
+        return large_.malloc(size, env);
+
+    maybePurge(env);
+
+    CategoryScope scope(env.ledger(), CycleCategory::UserAlloc);
+    ++smallMallocs_;
+    env.chargeInstructions(params_.fastMallocInstructions);
+
+    const unsigned cls = sizeClassIndex(size);
+    if (params_.touchTcacheMeta)
+        env.accessVirtual(tcacheMeta_ + cls * kLineSize / 4,
+                          AccessType::Read);
+    if (tcache_[cls].empty())
+        fillTcache(cls, env);
+
+    Addr obj = tcache_[cls].back();
+    tcache_[cls].pop_back();
+
+    live_[obj] = static_cast<std::uint32_t>(size);
+    liveBytes_ += size;
+    return obj;
+}
+
+void
+JeMalloc::free(Addr ptr, Env &env)
+{
+    if (large_.owns(ptr)) {
+        large_.free(ptr, env);
+        return;
+    }
+
+    CategoryScope scope(env.ledger(), CycleCategory::UserFree);
+    auto it = live_.find(ptr);
+    panic_if(it == live_.end(), "jemalloc: bad free 0x", std::hex, ptr);
+    liveBytes_ -= it->second;
+    live_.erase(it);
+
+    ++smallFrees_;
+    env.chargeInstructions(params_.fastFreeInstructions);
+
+    const Addr slab_base = slabBaseOf(ptr);
+    const unsigned cls = slabs_.at(slab_base).szclass;
+    if (params_.touchTcacheMeta)
+        env.accessVirtual(tcacheMeta_ + cls * kLineSize / 4,
+                          AccessType::Write);
+    tcache_[cls].push_back(ptr);
+    if (tcache_[cls].size() > params_.tcacheMax)
+        flushTcache(cls, env);
+}
+
+void
+JeMalloc::functionExit(Env &env)
+{
+    // Process exit: chunks go back to the OS wholesale.
+    CategoryScope scope(env.ledger(), CycleCategory::KernelOther);
+    for (Addr chunk : chunks_)
+        vm_.munmap(chunk, params_.chunkBytes, &env);
+    chunks_.clear();
+    slabs_.clear();
+    for (auto &stack : tcache_)
+        stack.clear();
+    for (auto &list : partialSlabs_)
+        list.clear();
+    live_.clear();
+    liveBytes_ = 0;
+    chunkCursor_ = params_.chunkBytes; // Force a new chunk if reused.
+    large_.releaseAll(env);
+}
+
+double
+JeMalloc::inactiveSlotFraction() const
+{
+    std::uint64_t total = 0;
+    std::uint64_t inactive = 0;
+    for (const auto &[base, slab] : slabs_) {
+        if (slab.freeList.size() == slab.carved)
+            continue; // No live objects: free memory, not slack.
+        total += slab.capacity;
+        inactive += (slab.capacity - slab.carved) + slab.freeList.size();
+    }
+    // Objects parked in tcaches are also not live.
+    for (const auto &stack : tcache_)
+        inactive += stack.size();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(inactive) / static_cast<double>(total);
+}
+
+bool
+JeMalloc::isLive(Addr ptr) const
+{
+    return live_.count(ptr) != 0 || large_.owns(ptr);
+}
+
+} // namespace memento

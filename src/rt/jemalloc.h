@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Model of a jemalloc-style allocator (C/C++ workloads).
+ *
+ * Small classes are served from a per-thread cache (tcache) refilled in
+ * batches from slab runs; slabs are carved from large chunks that
+ * jemalloc pre-maps and pre-faults at initialization — the behaviour the
+ * paper calls out for DeathStarBench (§6.1): almost no kernel work, but
+ * object alloc/free become the bottleneck. Sizes > 512 B go to the
+ * shared glibc large model.
+ */
+
+#ifndef MEMENTO_RT_JEMALLOC_H
+#define MEMENTO_RT_JEMALLOC_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rt/allocator.h"
+#include "rt/glibc_large.h"
+#include "sim/size_class.h"
+#include "sim/stats.h"
+
+namespace memento {
+
+/** jemalloc-like tcache/slab allocator. */
+class JeMalloc : public Allocator
+{
+  public:
+    /** Tunables (the §6.6 allocator-tuning study). */
+    struct Params
+    {
+        /** Chunk size pre-mapped from the OS. */
+        std::uint64_t chunkBytes = 4 << 20;
+        /** Slab run size per size class. */
+        std::uint64_t slabBytes = 16 << 10;
+        /** tcache capacity per size class. */
+        unsigned tcacheMax = 64;
+        /** Objects moved per tcache fill/flush. */
+        unsigned batch = 32;
+        /** Pre-fault the first chunk at init (jemalloc behaviour). */
+        bool prefaultFirstChunk = true;
+        /** Fast-path instruction budgets (zeroed by the idealized
+         *  Mallacc model, which services them in a 0-latency cache). */
+        InstCount fastMallocInstructions = 28;
+        InstCount fastFreeInstructions = 20;
+        /** Whether fast paths touch the tcache metadata in memory. */
+        bool touchTcacheMeta = true;
+        /**
+         * Decay purging: every this many malloc/free operations, fully
+         * free slabs are madvised away (jemalloc's decay). 0 disables
+         * it; long-running servers enable it, which is what keeps
+         * page faults frequent on their heaps (§5's data-processing
+         * applications).
+         */
+        std::uint64_t purgeIntervalOps = 0;
+    };
+
+    JeMalloc(VirtualMemory &vm, StatRegistry &stats, Params params);
+    JeMalloc(VirtualMemory &vm, StatRegistry &stats);
+
+    Addr malloc(std::uint64_t size, Env &env) override;
+    void free(Addr ptr, Env &env) override;
+    void functionExit(Env &env) override;
+    bool isLive(Addr ptr) const override;
+    std::uint64_t
+    liveBytes() const override
+    {
+        return liveBytes_ + large_.liveBytes();
+    }
+    std::string name() const override { return "jemalloc"; }
+    double inactiveSlotFraction() const override;
+
+  private:
+    struct Slab
+    {
+        Addr base = 0;
+        unsigned szclass = 0;
+        unsigned capacity = 0;
+        unsigned carved = 0; ///< Objects handed to tcaches so far.
+        std::vector<Addr> freeList; ///< Returned by tcache flushes.
+        /** Live-object count per page (purge granularity). */
+        std::vector<std::uint16_t> livePerPage;
+    };
+
+    /** Refill the class's tcache with a batch of objects. */
+    void fillTcache(unsigned cls, Env &env);
+    /** Flush half the tcache back to the owning slabs. */
+    void flushTcache(unsigned cls, Env &env);
+    /** Decay tick: purge object-free pages via madvise. */
+    void maybePurge(Env &env);
+    /** Adjust a slab's per-page live counts for one object. */
+    void adjustLivePages(Slab &slab, Addr obj, int delta);
+    /** Carve a new slab for @p cls from the current chunk. */
+    Slab &newSlab(unsigned cls, Env &env);
+    Addr slabBaseOf(Addr ptr) const;
+
+    VirtualMemory &vm_;
+    Params params_;
+    GlibcLargeAlloc large_;
+
+    std::vector<std::vector<Addr>> tcache_; ///< Per-class LIFO stacks.
+    /** Slabs by base address. */
+    std::unordered_map<Addr, Slab> slabs_;
+    /** Per-class slabs with uncarved/free objects. */
+    std::vector<std::vector<Addr>> partialSlabs_;
+    /** Chunks mmap'd from the OS. */
+    std::vector<Addr> chunks_;
+    std::uint64_t chunkCursor_ = 0; ///< Bytes used in the last chunk.
+
+    /** tcache metadata region (bins array), one line per class. */
+    Addr tcacheMeta_ = 0;
+
+    std::unordered_map<Addr, std::uint32_t> live_;
+    std::uint64_t liveBytes_ = 0;
+    std::uint64_t opsSincePurge_ = 0;
+
+    Counter smallMallocs_;
+    Counter smallFrees_;
+    Counter tcacheFills_;
+    Counter tcacheFlushes_;
+    Counter chunkMmaps_;
+    Counter purges_;
+    Counter purgedPages_;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_RT_JEMALLOC_H

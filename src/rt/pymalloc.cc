@@ -1,0 +1,266 @@
+#include "rt/pymalloc.h"
+
+#include "sim/logging.h"
+
+namespace memento {
+
+PyMalloc::PyMalloc(VirtualMemory &vm, StatRegistry &stats)
+    : PyMalloc(vm, stats, Params{})
+{
+}
+
+PyMalloc::PyMalloc(VirtualMemory &vm, StatRegistry &stats, Params params)
+    : vm_(vm),
+      params_(params),
+      large_(vm, stats, "pymalloc"),
+      usedPools_(kNumSmallClasses),
+      smallMallocs_(stats.counter("pymalloc.small_mallocs")),
+      smallFrees_(stats.counter("pymalloc.small_frees")),
+      arenaMmaps_(stats.counter("pymalloc.arena_mmaps")),
+      arenaMunmaps_(stats.counter("pymalloc.arena_munmaps")),
+      poolAcquires_(stats.counter("pymalloc.pool_acquires"))
+{
+    fatal_if(params_.arenaBytes % params_.poolBytes != 0,
+             "pymalloc: arena size must be a multiple of the pool size");
+    // Pool lookup on free masks the pointer with the pool size, which
+    // requires pool-aligned arenas; mmap guarantees page alignment only.
+    fatal_if(params_.poolBytes != kPageSize,
+             "pymalloc: pool size must equal the page size");
+    // Region holding arena_object records (not eagerly populated: the
+    // interpreter faults these in as arenas appear).
+    arenaObjRegion_ = vm_.mmap(64 * kPageSize, nullptr);
+}
+
+Addr
+PyMalloc::acquirePool(unsigned cls, Env &env)
+{
+    ++poolAcquires_;
+    env.chargeInstructions(40);
+
+    // Find a usable arena with a spare pool.
+    for (auto &[base, arena] : arenas_) {
+        if (arena.freeCount > 0) {
+            env.accessVirtual(arena.objAddr, AccessType::Read);
+            Addr pool_base = arena.freePools.back();
+            arena.freePools.pop_back();
+            --arena.freeCount;
+            env.accessVirtual(arena.objAddr, AccessType::Write);
+
+            Pool pool;
+            pool.base = pool_base;
+            pool.arenaBase = base;
+            pool.szclass = cls;
+            pool.capacity = static_cast<unsigned>(
+                (params_.poolBytes - params_.poolHeaderBytes) /
+                sizeClassBytes(cls));
+            pool.bump = pool_base + params_.poolHeaderBytes;
+            // Initialize the pool header in place.
+            env.chargeInstructions(25);
+            env.accessVirtual(pool_base, AccessType::Write);
+            pools_[pool_base] = pool;
+            return pool_base;
+        }
+    }
+
+    // No free pools anywhere: mmap a fresh arena (step 4 of Fig. 1).
+    ++arenaMmaps_;
+    env.chargeInstructions(90);
+    Addr arena_base = vm_.mmap(params_.arenaBytes, &env);
+
+    Arena arena;
+    arena.base = arena_base;
+    if (!freeArenaObjSlots_.empty()) {
+        arena.objAddr = freeArenaObjSlots_.back();
+        freeArenaObjSlots_.pop_back();
+    } else {
+        fatal_if(arenaObjCursor_ >= 64 * kPageSize,
+                 "pymalloc: arena_object table exhausted");
+        arena.objAddr = arenaObjRegion_ + arenaObjCursor_;
+        arenaObjCursor_ += 64; // sizeof(struct arena_object)
+    }
+    arena.totalPools =
+        static_cast<unsigned>(params_.arenaBytes / params_.poolBytes);
+    arena.freeCount = arena.totalPools;
+    // Pools are handed out low-to-high; keep LIFO order so the first
+    // pop is the lowest address (matches the real bump behaviour).
+    for (unsigned i = arena.totalPools; i > 0; --i)
+        arena.freePools.push_back(arena_base + (i - 1) * params_.poolBytes);
+    env.accessVirtual(arena.objAddr, AccessType::Write);
+    arenas_[arena_base] = arena;
+
+    return acquirePool(cls, env);
+}
+
+PyMalloc::Pool &
+PyMalloc::poolForClass(unsigned cls, Env &env)
+{
+    auto &list = usedPools_[cls];
+    if (!list.empty()) {
+        Pool &pool = pools_.at(list.front());
+        return pool;
+    }
+    Addr pool_base = acquirePool(cls, env);
+    Pool &pool = pools_.at(pool_base);
+    list.push_front(pool_base);
+    pool.usedPos = list.begin();
+    pool.inUsedList = true;
+    return pool;
+}
+
+Addr
+PyMalloc::carveBlock(Pool &pool, Env &env)
+{
+    // Read the pool header, take the freeblock head or bump.
+    env.accessVirtual(pool.base, AccessType::Read);
+    Addr block;
+    if (!pool.freeBlocks.empty()) {
+        block = pool.freeBlocks.back();
+        pool.freeBlocks.pop_back();
+        // The free list is threaded through the blocks: follow it.
+        env.accessVirtual(block, AccessType::Read);
+    } else {
+        block = pool.bump;
+        pool.bump += sizeClassBytes(pool.szclass);
+    }
+    ++pool.used;
+    env.accessVirtual(pool.base, AccessType::Write);
+
+    // Pool exhausted: unlink from the used list.
+    if (!pool.hasFree(params_) && pool.inUsedList) {
+        usedPools_[pool.szclass].erase(pool.usedPos);
+        pool.inUsedList = false;
+    }
+    return block;
+}
+
+Addr
+PyMalloc::malloc(std::uint64_t size, Env &env)
+{
+    fatal_if(size == 0, "pymalloc: zero-size malloc");
+    if (size > kMaxSmallSize)
+        return large_.malloc(size, env);
+
+    CategoryScope scope(env.ledger(), CycleCategory::UserAlloc);
+    ++smallMallocs_;
+    env.chargeInstructions(30); // PyObject_Malloc fast-path budget.
+
+    const unsigned cls = sizeClassIndex(size);
+    Pool &pool = poolForClass(cls, env);
+    Addr block = carveBlock(pool, env);
+
+    live_[block] = static_cast<std::uint32_t>(size);
+    liveBytes_ += size;
+    return block;
+}
+
+void
+PyMalloc::free(Addr ptr, Env &env)
+{
+    if (large_.owns(ptr)) {
+        large_.free(ptr, env);
+        return;
+    }
+
+    CategoryScope scope(env.ledger(), CycleCategory::UserFree);
+    auto live_it = live_.find(ptr);
+    panic_if(live_it == live_.end(), "pymalloc: bad free 0x", std::hex,
+             ptr);
+    liveBytes_ -= live_it->second;
+    live_.erase(live_it);
+
+    ++smallFrees_;
+    env.chargeInstructions(26);
+
+    // Pool header from address arithmetic (step 5 of Fig. 1).
+    const Addr pool_base = ptr & ~(params_.poolBytes - 1);
+    auto pool_it = pools_.find(pool_base);
+    panic_if(pool_it == pools_.end(), "pymalloc: free outside any pool");
+    Pool &pool = pool_it->second;
+
+    env.accessVirtual(pool.base, AccessType::Read);
+    // Link the block onto the freeblock chain (a write into the block).
+    env.accessVirtual(ptr, AccessType::Write);
+    pool.freeBlocks.push_back(ptr);
+    --pool.used;
+    env.accessVirtual(pool.base, AccessType::Write);
+
+    if (!pool.inUsedList) {
+        // Pool was full and regained space: back to the used list head.
+        auto &list = usedPools_[pool.szclass];
+        list.push_front(pool.base);
+        pool.usedPos = list.begin();
+        pool.inUsedList = true;
+        env.chargeInstructions(12);
+    }
+
+    if (pool.used == 0) {
+        // Entirely free: return the pool to its arena.
+        env.chargeInstructions(30);
+        if (pool.inUsedList)
+            usedPools_[pool.szclass].erase(pool.usedPos);
+        Arena &arena = arenas_.at(pool.arenaBase);
+        arena.freePools.push_back(pool.base);
+        ++arena.freeCount;
+        env.accessVirtual(arena.objAddr, AccessType::Write);
+        pools_.erase(pool_it);
+
+        if (arena.freeCount == arena.totalPools)
+            releaseArena(arena, env);
+    }
+}
+
+void
+PyMalloc::releaseArena(Arena &arena, Env &env)
+{
+    ++arenaMunmaps_;
+    env.chargeInstructions(60);
+    const Addr base = arena.base;
+    freeArenaObjSlots_.push_back(arena.objAddr);
+    vm_.munmap(base, params_.arenaBytes, &env);
+    arenas_.erase(base);
+}
+
+void
+PyMalloc::functionExit(Env &env)
+{
+    // Process exit: the OS tears down all mappings wholesale; no
+    // per-object work happens in userspace.
+    CategoryScope scope(env.ledger(), CycleCategory::KernelOther);
+    while (!arenas_.empty()) {
+        Addr base = arenas_.begin()->first;
+        vm_.munmap(base, params_.arenaBytes, &env);
+        arenas_.erase(arenas_.begin());
+    }
+    pools_.clear();
+    for (auto &list : usedPools_)
+        list.clear();
+    freeArenaObjSlots_.clear();
+    arenaObjCursor_ = 0;
+    live_.clear();
+    liveBytes_ = 0;
+    large_.releaseAll(env);
+}
+
+double
+PyMalloc::inactiveSlotFraction() const
+{
+    std::uint64_t total = 0;
+    std::uint64_t used = 0;
+    for (const auto &[base, pool] : pools_) {
+        if (pool.used == 0)
+            continue; // Fully free pool: free memory, not slack.
+        total += pool.capacity;
+        used += pool.used;
+    }
+    if (total == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(used) / static_cast<double>(total);
+}
+
+bool
+PyMalloc::isLive(Addr ptr) const
+{
+    return live_.count(ptr) != 0 || large_.owns(ptr);
+}
+
+} // namespace memento

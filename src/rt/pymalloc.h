@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Model of CPython's pymalloc (obmalloc.c), per §2.1 of the paper.
+ *
+ * 256 KB arenas are mmap'd from the OS and split into 4 KB pools; each
+ * pool serves one 8-byte-step size class <= 512 B and keeps a free list
+ * threaded through the freed blocks themselves. Per-class used-pool
+ * lists, per-arena free-pool lists, arena release via munmap when fully
+ * free, and >512 B delegation to the glibc model all follow the real
+ * allocator. Metadata accesses happen at the metadata's simulated
+ * addresses, so the allocator's cache/TLB/fault behaviour is emergent.
+ */
+
+#ifndef MEMENTO_RT_PYMALLOC_H
+#define MEMENTO_RT_PYMALLOC_H
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "rt/allocator.h"
+#include "rt/glibc_large.h"
+#include "sim/size_class.h"
+#include "sim/stats.h"
+
+namespace memento {
+
+/** pymalloc-style arena/pool allocator. */
+class PyMalloc : public Allocator
+{
+  public:
+    /** Tunables (the §6.6 "tuning software allocators" study). */
+    struct Params
+    {
+        std::uint64_t arenaBytes = 256 << 10;
+        std::uint64_t poolBytes = 4 << 10;
+        /** Pool header size (struct pool_header). */
+        std::uint64_t poolHeaderBytes = 48;
+    };
+
+    PyMalloc(VirtualMemory &vm, StatRegistry &stats, Params params);
+    PyMalloc(VirtualMemory &vm, StatRegistry &stats);
+
+    Addr malloc(std::uint64_t size, Env &env) override;
+    void free(Addr ptr, Env &env) override;
+    void functionExit(Env &env) override;
+    bool isLive(Addr ptr) const override;
+    std::uint64_t
+    liveBytes() const override
+    {
+        return liveBytes_ + large_.liveBytes();
+    }
+    std::string name() const override { return "pymalloc"; }
+    double inactiveSlotFraction() const override;
+
+    /** Number of live arenas (tests). */
+    std::size_t arenaCount() const { return arenas_.size(); }
+
+  private:
+    struct Pool
+    {
+        Addr base = 0;
+        Addr arenaBase = 0;
+        unsigned szclass = 0;
+        unsigned capacity = 0;
+        unsigned used = 0;
+        /** Next never-carved block (bump). */
+        Addr bump = 0;
+        /** LIFO of freed block addresses (freeblock chain). */
+        std::vector<Addr> freeBlocks;
+        /** Position in usedPools_[szclass] when linked there. */
+        std::list<Addr>::iterator usedPos;
+        bool inUsedList = false;
+
+        bool
+        hasFree(const Params &p) const
+        {
+            return !freeBlocks.empty() ||
+                   bump + sizeClassBytes(szclass) <= base + p.poolBytes;
+        }
+    };
+
+    struct Arena
+    {
+        Addr base = 0;
+        /** Address of this arena's arena_object metadata slot. */
+        Addr objAddr = 0;
+        std::vector<Addr> freePools; ///< LIFO of uncarved/empty pools.
+        unsigned totalPools = 0;
+        unsigned freeCount = 0;
+    };
+
+    /** Get a pool with free space for @p cls, acquiring one if needed. */
+    Pool &poolForClass(unsigned cls, Env &env);
+    /** Carve a block from @p pool (it must have space). */
+    Addr carveBlock(Pool &pool, Env &env);
+    /** Take a free pool from an arena (mmap'ing a new arena if none). */
+    Addr acquirePool(unsigned cls, Env &env);
+    void releaseArena(Arena &arena, Env &env);
+
+    VirtualMemory &vm_;
+    Params params_;
+    GlibcLargeAlloc large_;
+
+    /** Pools with free blocks per class; front = most recently used. */
+    std::vector<std::list<Addr>> usedPools_;
+    std::map<Addr, Pool> pools_;   ///< Keyed by pool base.
+    std::map<Addr, Arena> arenas_; ///< Keyed by arena base.
+    /** Arena-object table region (arena metadata lives here). */
+    Addr arenaObjRegion_ = 0;
+    std::uint64_t arenaObjCursor_ = 0;
+    /** Recycled arena_object slots (CPython's unused_arena_objects). */
+    std::vector<Addr> freeArenaObjSlots_;
+
+    std::unordered_map<Addr, std::uint32_t> live_; ///< ptr -> size.
+    std::uint64_t liveBytes_ = 0;
+
+    Counter smallMallocs_;
+    Counter smallFrees_;
+    Counter arenaMmaps_;
+    Counter arenaMunmaps_;
+    Counter poolAcquires_;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_RT_PYMALLOC_H

@@ -1,0 +1,215 @@
+#include "rt/tcmalloc.h"
+
+#include "sim/logging.h"
+
+namespace memento {
+
+TcMalloc::TcMalloc(VirtualMemory &vm, StatRegistry &stats)
+    : TcMalloc(vm, stats, Params{})
+{
+}
+
+TcMalloc::TcMalloc(VirtualMemory &vm, StatRegistry &stats, Params params)
+    : vm_(vm),
+      params_(params),
+      large_(vm, stats, "tcmalloc"),
+      cache_(kNumSmallClasses),
+      central_(kNumSmallClasses),
+      openSpan_(kNumSmallClasses, kNullAddr),
+      smallMallocs_(stats.counter("tcmalloc.small_mallocs")),
+      smallFrees_(stats.counter("tcmalloc.small_frees")),
+      refills_(stats.counter("tcmalloc.refills")),
+      releases_(stats.counter("tcmalloc.releases")),
+      spanCarves_(stats.counter("tcmalloc.span_carves")),
+      heapGrows_(stats.counter("tcmalloc.heap_grows"))
+{
+    fatal_if(!isPowerOfTwo(params_.spanBytes) ||
+                 params_.spanBytes < kPageSize,
+             "tcmalloc: span size must be a power-of-two >= page size");
+    fatal_if(params_.growBytes % params_.spanBytes != 0,
+             "tcmalloc: grow size must be a multiple of the span size");
+    // Thread-cache headers and central-list metadata; resident in a
+    // warm process.
+    metaRegion_ = vm_.mmap(2 * kPageSize, nullptr, /*populate=*/true);
+}
+
+TcMalloc::Span &
+TcMalloc::spanOf(Addr ptr)
+{
+    return spans_.at(ptr & ~(params_.spanBytes - 1));
+}
+
+void
+TcMalloc::refill(unsigned cls, Env &env)
+{
+    ++refills_;
+    // Central list lock + transfer bookkeeping.
+    env.chargeInstructions(160);
+    env.accessVirtual(metaRegion_ + cls * 64, AccessType::Write);
+
+    unsigned want = params_.transferBatch;
+    auto &central = central_[cls];
+    while (want > 0 && !central.empty()) {
+        cache_[cls].push_back(central.back());
+        central.pop_back();
+        --want;
+    }
+    while (want > 0) {
+        // Carve from the class's open span, fetching a new span from
+        // the page heap when exhausted.
+        if (openSpan_[cls] == kNullAddr ||
+            spans_.at(openSpan_[cls]).carved ==
+                spans_.at(openSpan_[cls]).capacity) {
+            if (growBase_ == 0 || growUsed_ + params_.spanBytes >
+                                      growSize_) {
+                ++heapGrows_;
+                env.chargeInstructions(300);
+                growBase_ = vm_.mmap(params_.growBytes, &env, false,
+                                     params_.spanBytes);
+                regions_.push_back(growBase_);
+                growSize_ = params_.growBytes;
+                growUsed_ = 0;
+            }
+            Span span;
+            span.base = growBase_ + growUsed_;
+            growUsed_ += params_.spanBytes;
+            span.szclass = cls;
+            span.capacity = static_cast<unsigned>(params_.spanBytes /
+                                                  sizeClassBytes(cls));
+            ++spanCarves_;
+            env.chargeInstructions(220);
+            env.accessVirtual(span.base, AccessType::Write);
+            openSpan_[cls] = span.base;
+            spans_[span.base] = span;
+        }
+        Span &span = spans_.at(openSpan_[cls]);
+        const Addr obj =
+            span.base + static_cast<std::uint64_t>(span.carved) *
+                            sizeClassBytes(cls);
+        ++span.carved;
+        cache_[cls].push_back(obj);
+        --want;
+    }
+}
+
+void
+TcMalloc::release(unsigned cls, Env &env)
+{
+    ++releases_;
+    env.chargeInstructions(140);
+    env.accessVirtual(metaRegion_ + cls * 64, AccessType::Write);
+    auto &cache = cache_[cls];
+    for (unsigned i = 0; i < params_.transferBatch && !cache.empty();
+         ++i) {
+        central_[cls].push_back(cache.front());
+        cache.erase(cache.begin());
+        env.chargeInstructions(6);
+    }
+}
+
+Addr
+TcMalloc::malloc(std::uint64_t size, Env &env)
+{
+    fatal_if(size == 0, "tcmalloc: zero-size malloc");
+    if (size > kMaxSmallSize)
+        return large_.malloc(size, env);
+
+    CategoryScope scope(env.ledger(), CycleCategory::UserAlloc);
+    ++smallMallocs_;
+    env.chargeInstructions(params_.cachedPathInstructions +
+                           params_.restOfFastPathInstructions);
+
+    const unsigned cls = sizeClassIndex(size);
+    if (cache_[cls].empty())
+        refill(cls, env);
+
+    Addr obj = cache_[cls].back();
+    cache_[cls].pop_back();
+    if (params_.popTouchesObject) {
+        // The free list is threaded through the objects: popping reads
+        // the next pointer stored in the object itself. This is the
+        // dependent load Mallacc's cache short-circuits.
+        env.accessVirtual(obj, AccessType::Read);
+    }
+    ++spanOf(obj).live;
+
+    live_[obj] = static_cast<std::uint32_t>(size);
+    liveBytes_ += size;
+    return obj;
+}
+
+void
+TcMalloc::free(Addr ptr, Env &env)
+{
+    if (large_.owns(ptr)) {
+        large_.free(ptr, env);
+        return;
+    }
+
+    CategoryScope scope(env.ledger(), CycleCategory::UserFree);
+    auto it = live_.find(ptr);
+    panic_if(it == live_.end(), "tcmalloc: bad free 0x", std::hex, ptr);
+    liveBytes_ -= it->second;
+    live_.erase(it);
+
+    ++smallFrees_;
+    env.chargeInstructions(params_.cachedPathInstructions / 2 +
+                           params_.restOfFastPathInstructions / 2);
+
+    Span &span = spanOf(ptr);
+    --span.live;
+    const unsigned cls = span.szclass;
+    // Push threads the list pointer through the freed object.
+    env.accessVirtual(ptr, AccessType::Write);
+    cache_[cls].push_back(ptr);
+    if (cache_[cls].size() > params_.cacheMax)
+        release(cls, env);
+}
+
+void
+TcMalloc::functionExit(Env &env)
+{
+    // TCMalloc famously does not return memory eagerly; process exit
+    // lets the OS unmap everything. Regions are unmapped here for the
+    // accounting the paper's batch-free path measures.
+    CategoryScope scope(env.ledger(), CycleCategory::KernelOther);
+    for (Addr r : regions_)
+        vm_.munmap(r, params_.growBytes, &env);
+    regions_.clear();
+    spans_.clear();
+    for (auto &c : cache_)
+        c.clear();
+    for (auto &c : central_)
+        c.clear();
+    openSpan_.assign(kNumSmallClasses, kNullAddr);
+    growBase_ = 0;
+    growUsed_ = 0;
+    growSize_ = 0;
+    live_.clear();
+    liveBytes_ = 0;
+    large_.releaseAll(env);
+}
+
+bool
+TcMalloc::isLive(Addr ptr) const
+{
+    return live_.count(ptr) != 0 || large_.owns(ptr);
+}
+
+double
+TcMalloc::inactiveSlotFraction() const
+{
+    std::uint64_t total = 0;
+    std::uint64_t live = 0;
+    for (const auto &[base, span] : spans_) {
+        if (span.live == 0)
+            continue;
+        total += span.capacity;
+        live += span.live;
+    }
+    if (total == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(live) / static_cast<double>(total);
+}
+
+} // namespace memento

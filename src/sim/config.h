@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Machine configuration: Table 3 of the paper plus Memento parameters,
+ * OS cost-model knobs, and the simulated address-space layout.
+ *
+ * All latencies are in core clock cycles at coreFreqGhz. Defaults mirror
+ * the paper's simulated system (4-issue OOO @ 3 GHz, 32 KB L1s, 256 KB L2,
+ * 2 MB LLC slice, 64-/2048-entry TLBs, DDR4-3200, 64-entry HOT, 32-entry
+ * AAC).
+ */
+
+#ifndef MEMENTO_SIM_CONFIG_H
+#define MEMENTO_SIM_CONFIG_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace memento {
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 0;
+    unsigned ways = 1;
+    Cycles latency = 1;
+
+    std::uint64_t numSets() const { return sizeBytes / (ways * kLineSize); }
+};
+
+/** Geometry and latency of one TLB level. */
+struct TlbConfig
+{
+    unsigned entries = 0;
+    unsigned ways = 1;
+    Cycles latency = 1;
+};
+
+/** DRAM timing and geometry (DDR4-3200-like, expressed in core cycles). */
+struct DramConfig
+{
+    std::uint64_t sizeBytes = 64ull << 30;
+    unsigned banks = 16;
+    /** Row-hit access latency (CL + transfer). */
+    Cycles hitLatency = 75;
+    /** Row-miss access latency (tRP + tRCD + CL + transfer). */
+    Cycles missLatency = 135;
+    /** Extra queuing delay applied per outstanding same-bank access. */
+    Cycles bankBusyPenalty = 24;
+    /** Rows per bank used by the open-row model. */
+    std::uint64_t rowBytes = 8192;
+};
+
+/** Core front/back-end approximation of the 4-issue OOO core. */
+struct CoreConfig
+{
+    double freqGhz = 3.0;
+    unsigned issueWidth = 4;
+    unsigned robEntries = 256;
+    unsigned lsqEntries = 64;
+    /**
+     * Average non-memory retirement IPC used to convert instruction
+     * counts into cycles. Memory stalls are charged separately by the
+     * hierarchy, so this models compute-bound issue behaviour only.
+     */
+    double baseIpc = 2.0;
+    /**
+     * Fraction of a load's hierarchy latency that the OOO window
+     * hides on average (MLP/overlap factor). 0 = fully exposed.
+     */
+    double memLatencyHiddenFraction = 0.55;
+    /**
+     * Fraction of a store's latency hidden by the store buffer /
+     * write-combining; stores rarely stall retirement.
+     */
+    double storeLatencyHiddenFraction = 0.92;
+};
+
+/** Kernel cost model (instruction budgets, calibrated in DESIGN.md). */
+struct KernelConfig
+{
+    /** User->kernel->user mode switch cost, charged per syscall/fault. */
+    Cycles modeSwitchCycles = 300;
+    /** Instructions executed by mmap (VMA setup, bookkeeping). */
+    InstCount mmapInstructions = 1800;
+    /** Base instructions for munmap plus per-page teardown cost. */
+    InstCount munmapBaseInstructions = 1400;
+    InstCount munmapPerPageInstructions = 180;
+    /**
+     * Instructions for a minor (anonymous) page fault. Functions run
+     * inside containers, where the fault path includes memcg charging
+     * and cgroup accounting on top of the bare handler.
+     */
+    InstCount faultInstructions = 5000;
+    /** Instructions for buddy-allocator page alloc/free. */
+    InstCount buddyAllocInstructions = 250;
+    InstCount buddyFreeInstructions = 220;
+    /** Context switch cost excluding any HOT flush. */
+    Cycles contextSwitchCycles = 3600;
+    /** Whether mmap eagerly populates pages (MAP_POPULATE study). */
+    bool mapPopulate = false;
+    /**
+     * Transparent huge pages: anonymous faults try to back a whole
+     * 2 MiB block with one huge page (shorter walks, bigger TLB reach,
+     * fewer faults — at an internal-fragmentation cost). The software
+     * counter-proposal to Memento's hardware page management.
+     */
+    bool transparentHugePages = false;
+    /** Zeroing cost per 4 KiB subpage of a huge-page fault. */
+    Cycles thpZeroCyclesPerPage = 24;
+};
+
+/** Memento hardware parameters. */
+struct MementoConfig
+{
+    bool enabled = false;
+
+    /** Number of size classes (8-byte steps up to maxSmallSize). */
+    unsigned numSizeClasses = 64;
+    /** Largest object handled in hardware, in bytes. */
+    std::uint64_t maxSmallSize = 512;
+    /** Objects per arena. */
+    unsigned objectsPerArena = 256;
+    /** HOT access latency for hits. */
+    Cycles hotLatency = 2;
+    /** AAC access latency for hits. */
+    Cycles aacLatency = 1;
+    /** AAC entry count (per-core pointers cached). */
+    unsigned aacEntries = 32;
+    /** Physical pages the OS grants the page allocator per refill. */
+    unsigned pagePoolRefill = 64;
+    /** Low-water mark that triggers an asynchronous OS refill. */
+    unsigned pagePoolLowWater = 16;
+    /** Enable the main-memory bypass mechanism. */
+    bool bypassEnabled = true;
+    /** Eagerly prefetch the next available arena on last-object alloc. */
+    bool eagerArenaPrefetch = true;
+    /** Enable the idealized Mallacc comparator instead of Memento. */
+    bool mallaccMode = false;
+};
+
+/** Software-runtime tuning knobs (the §6.6 allocator-tuning study). */
+struct RuntimeTuning
+{
+    /** pymalloc arena size (default 256 KB as in CPython). */
+    std::uint64_t pymallocArenaBytes = 256 << 10;
+    /** jemalloc chunk size. */
+    std::uint64_t jemallocChunkBytes = 4 << 20;
+    /** Go GC trigger for long-running (Platform) processes. */
+    std::uint64_t goGcTriggerBytes = 1 << 20;
+};
+
+/** Simulated virtual address-space layout (single process). */
+struct AddressLayout
+{
+    /** Base of the conventional mmap heap region. */
+    Addr heapBase = 0x0000'7000'0000ull;
+    /** Base of code/static image (only used for footprint accounting). */
+    Addr imageBase = 0x0000'0040'0000ull;
+    /** Memento Region Start register value. */
+    Addr mementoRegionStart = 0x4000'0000'0000ull;
+    /** Bytes of Memento region per size class (region = 64x this). */
+    std::uint64_t perClassRegionBytes = 1ull << 30;
+
+    Addr
+    mementoRegionEnd(unsigned num_classes) const
+    {
+        return mementoRegionStart + perClassRegionBytes * num_classes;
+    }
+};
+
+/** Top-level machine configuration. */
+struct MachineConfig
+{
+    CoreConfig core;
+    CacheConfig l1d{32 << 10, 8, 2};
+    CacheConfig l1i{32 << 10, 8, 2};
+    CacheConfig l2{256 << 10, 8, 14};
+    CacheConfig llc{2 << 20, 16, 40};
+    TlbConfig l1Tlb{64, 4, 1};
+    TlbConfig l2Tlb{2048, 12, 7};
+    DramConfig dram;
+    KernelConfig kernel;
+    MementoConfig memento;
+    RuntimeTuning tuning;
+    AddressLayout layout;
+
+    /** Convert a millisecond value to cycles at the core frequency. */
+    Cycles
+    msToCycles(double ms) const
+    {
+        return static_cast<Cycles>(ms * core.freqGhz * 1.0e6);
+    }
+
+    /** Convert cycles to milliseconds at the core frequency. */
+    double
+    cyclesToMs(Cycles cycles) const
+    {
+        return static_cast<double>(cycles) / (core.freqGhz * 1.0e6);
+    }
+};
+
+/** The paper's Table 3 baseline configuration (Memento disabled). */
+MachineConfig defaultConfig();
+
+/** Table 3 configuration with Memento enabled. */
+MachineConfig mementoConfig();
+
+} // namespace memento
+
+#endif // MEMENTO_SIM_CONFIG_H

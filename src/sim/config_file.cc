@@ -1,0 +1,183 @@
+#include "sim/config_file.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace memento {
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::uint64_t
+parseInt(const std::string &key, const std::string &value)
+{
+    std::string v = value;
+    std::uint64_t scale = 1;
+    if (!v.empty()) {
+        switch (std::tolower(static_cast<unsigned char>(v.back()))) {
+          case 'k': scale = 1ull << 10; v.pop_back(); break;
+          case 'm': scale = 1ull << 20; v.pop_back(); break;
+          case 'g': scale = 1ull << 30; v.pop_back(); break;
+          default: break;
+        }
+    }
+    std::size_t pos = 0;
+    std::uint64_t parsed = 0;
+    try {
+        parsed = std::stoull(v, &pos);
+    } catch (...) {
+        fatal("config: bad integer for ", key, ": '", value, "'");
+    }
+    fatal_if(pos != v.size(), "config: bad integer for ", key, ": '",
+             value, "'");
+    return parsed * scale;
+}
+
+double
+parseDouble(const std::string &key, const std::string &value)
+{
+    std::size_t pos = 0;
+    double parsed = 0;
+    try {
+        parsed = std::stod(value, &pos);
+    } catch (...) {
+        fatal("config: bad number for ", key, ": '", value, "'");
+    }
+    fatal_if(pos != value.size(), "config: bad number for ", key, ": '",
+             value, "'");
+    return parsed;
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    std::string v = value;
+    std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    if (v == "true" || v == "on" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "off" || v == "0" || v == "no")
+        return false;
+    fatal("config: bad boolean for ", key, ": '", value, "'");
+}
+
+} // namespace
+
+void
+applyConfigOption(const std::string &key, const std::string &value,
+                  MachineConfig &cfg)
+{
+    auto u64 = [&] { return parseInt(key, value); };
+    auto u32 = [&] { return static_cast<unsigned>(parseInt(key, value)); };
+    auto f64 = [&] { return parseDouble(key, value); };
+    auto b = [&] { return parseBool(key, value); };
+
+    // Core.
+    if (key == "core.freq_ghz") cfg.core.freqGhz = f64();
+    else if (key == "core.base_ipc") cfg.core.baseIpc = f64();
+    else if (key == "core.load_hidden")
+        cfg.core.memLatencyHiddenFraction = f64();
+    else if (key == "core.store_hidden")
+        cfg.core.storeLatencyHiddenFraction = f64();
+    // Caches.
+    else if (key == "l1d.size") cfg.l1d.sizeBytes = u64();
+    else if (key == "l1d.ways") cfg.l1d.ways = u32();
+    else if (key == "l1d.latency") cfg.l1d.latency = u64();
+    else if (key == "l1i.size") cfg.l1i.sizeBytes = u64();
+    else if (key == "l1i.ways") cfg.l1i.ways = u32();
+    else if (key == "l1i.latency") cfg.l1i.latency = u64();
+    else if (key == "l2.size") cfg.l2.sizeBytes = u64();
+    else if (key == "l2.ways") cfg.l2.ways = u32();
+    else if (key == "l2.latency") cfg.l2.latency = u64();
+    else if (key == "llc.size") cfg.llc.sizeBytes = u64();
+    else if (key == "llc.ways") cfg.llc.ways = u32();
+    else if (key == "llc.latency") cfg.llc.latency = u64();
+    // TLBs.
+    else if (key == "tlb.l1_entries") cfg.l1Tlb.entries = u32();
+    else if (key == "tlb.l1_ways") cfg.l1Tlb.ways = u32();
+    else if (key == "tlb.l2_entries") cfg.l2Tlb.entries = u32();
+    else if (key == "tlb.l2_ways") cfg.l2Tlb.ways = u32();
+    // DRAM.
+    else if (key == "dram.size") cfg.dram.sizeBytes = u64();
+    else if (key == "dram.banks") cfg.dram.banks = u32();
+    else if (key == "dram.hit_latency") cfg.dram.hitLatency = u64();
+    else if (key == "dram.miss_latency") cfg.dram.missLatency = u64();
+    // Kernel.
+    else if (key == "kernel.fault_instructions")
+        cfg.kernel.faultInstructions = u64();
+    else if (key == "kernel.mmap_instructions")
+        cfg.kernel.mmapInstructions = u64();
+    else if (key == "kernel.mode_switch_cycles")
+        cfg.kernel.modeSwitchCycles = u64();
+    else if (key == "kernel.map_populate") cfg.kernel.mapPopulate = b();
+    else if (key == "kernel.thp") cfg.kernel.transparentHugePages = b();
+    // Memento.
+    else if (key == "memento.enabled") cfg.memento.enabled = b();
+    else if (key == "memento.bypass") cfg.memento.bypassEnabled = b();
+    else if (key == "memento.eager_prefetch")
+        cfg.memento.eagerArenaPrefetch = b();
+    else if (key == "memento.objects_per_arena")
+        cfg.memento.objectsPerArena = u32();
+    else if (key == "memento.hot_latency")
+        cfg.memento.hotLatency = u64();
+    else if (key == "memento.pool_refill")
+        cfg.memento.pagePoolRefill = u32();
+    else if (key == "memento.mallacc") cfg.memento.mallaccMode = b();
+    // Runtime tuning.
+    else if (key == "tuning.pymalloc_arena")
+        cfg.tuning.pymallocArenaBytes = u64();
+    else if (key == "tuning.jemalloc_chunk")
+        cfg.tuning.jemallocChunkBytes = u64();
+    else if (key == "tuning.go_gc_trigger")
+        cfg.tuning.goGcTriggerBytes = u64();
+    else
+        fatal("config: unknown key '", key, "'");
+}
+
+void
+applyConfigStream(std::istream &is, MachineConfig &cfg)
+{
+    std::string line;
+    unsigned line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const std::size_t eq = line.find('=');
+        fatal_if(eq == std::string::npos,
+                 "config: missing '=' on line ", line_no);
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        fatal_if(key.empty() || value.empty(),
+                 "config: empty key or value on line ", line_no);
+        applyConfigOption(key, value, cfg);
+    }
+}
+
+void
+applyConfigFile(const std::string &path, MachineConfig &cfg)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "config: cannot open '", path, "'");
+    applyConfigStream(in, cfg);
+}
+
+} // namespace memento

@@ -1,0 +1,58 @@
+#include "sim/cycles.h"
+
+#include "sim/logging.h"
+
+namespace memento {
+
+std::string_view
+cycleCategoryName(CycleCategory cat)
+{
+    switch (cat) {
+      case CycleCategory::AppCompute: return "app-compute";
+      case CycleCategory::AppMemory: return "app-memory";
+      case CycleCategory::UserAlloc: return "user-alloc";
+      case CycleCategory::UserFree: return "user-free";
+      case CycleCategory::KernelMmap: return "kernel-mmap";
+      case CycleCategory::KernelFault: return "kernel-fault";
+      case CycleCategory::KernelOther: return "kernel-other";
+      case CycleCategory::HwAlloc: return "hw-alloc";
+      case CycleCategory::HwFree: return "hw-free";
+      case CycleCategory::HwPage: return "hw-page";
+      case CycleCategory::Rpc: return "rpc";
+      case CycleCategory::ContextSwitch: return "context-switch";
+      case CycleCategory::NumCategories: break;
+    }
+    panic("invalid cycle category");
+}
+
+bool
+isMemoryManagementCategory(CycleCategory cat)
+{
+    switch (cat) {
+      case CycleCategory::UserAlloc:
+      case CycleCategory::UserFree:
+      case CycleCategory::KernelMmap:
+      case CycleCategory::KernelFault:
+      case CycleCategory::KernelOther:
+      case CycleCategory::HwAlloc:
+      case CycleCategory::HwFree:
+      case CycleCategory::HwPage:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Cycles
+CycleLedger::memoryManagementTotal() const
+{
+    Cycles sum = 0;
+    for (std::size_t i = 0; i < kNumCycleCategories; ++i) {
+        auto cat = static_cast<CycleCategory>(i);
+        if (isMemoryManagementCategory(cat))
+            sum += byCategory_[i];
+    }
+    return sum;
+}
+
+} // namespace memento

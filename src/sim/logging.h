@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for simulator invariant violations (bugs in this code base);
+ * fatal() is for user/configuration errors that make continuing pointless.
+ * Both terminate; warn()/inform() only print.
+ */
+
+#ifndef MEMENTO_SIM_LOGGING_H
+#define MEMENTO_SIM_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace memento {
+
+/** Print "panic: <msg>" with location info and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print "fatal: <msg>" and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print "warn: <msg>" to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print "info: <msg>" to stderr. */
+void informImpl(const std::string &msg);
+
+namespace detail {
+
+inline void
+streamInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    streamInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatMsg(const Args &...args)
+{
+    std::ostringstream os;
+    streamInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+} // namespace memento
+
+#define panic(...)                                                          \
+    ::memento::panicImpl(__FILE__, __LINE__,                                \
+                         ::memento::detail::formatMsg(__VA_ARGS__))
+
+#define fatal(...)                                                          \
+    ::memento::fatalImpl(__FILE__, __LINE__,                                \
+                         ::memento::detail::formatMsg(__VA_ARGS__))
+
+#define warn(...)                                                           \
+    ::memento::warnImpl(::memento::detail::formatMsg(__VA_ARGS__))
+
+#define inform(...)                                                         \
+    ::memento::informImpl(::memento::detail::formatMsg(__VA_ARGS__))
+
+/** panic() unless @p cond holds. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            panic(__VA_ARGS__);                                             \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            fatal(__VA_ARGS__);                                             \
+    } while (0)
+
+#endif // MEMENTO_SIM_LOGGING_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small-object size classes shared by the software allocator models and
+ * the Memento hardware: 8-byte steps up to 512 bytes (64 classes), as in
+ * §3.1 of the paper.
+ */
+
+#ifndef MEMENTO_SIM_SIZE_CLASS_H
+#define MEMENTO_SIM_SIZE_CLASS_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace memento {
+
+/** Size-class granularity in bytes. */
+inline constexpr std::uint64_t kSizeClassStep = 8;
+
+/** Number of small size classes. */
+inline constexpr unsigned kNumSmallClasses = 64;
+
+/** Largest size handled by the small-object path. */
+inline constexpr std::uint64_t kMaxSmallSize =
+    kSizeClassStep * kNumSmallClasses;
+
+/** True when @p size is served by the small-object path. */
+constexpr bool
+isSmallSize(std::uint64_t size)
+{
+    return size >= 1 && size <= kMaxSmallSize;
+}
+
+/** Class index (0-based) for a small @p size. */
+constexpr unsigned
+sizeClassIndex(std::uint64_t size)
+{
+    return static_cast<unsigned>((size + kSizeClassStep - 1) /
+                                 kSizeClassStep) -
+           1;
+}
+
+/** Rounded object size of class @p idx. */
+constexpr std::uint64_t
+sizeClassBytes(unsigned idx)
+{
+    return (static_cast<std::uint64_t>(idx) + 1) * kSizeClassStep;
+}
+
+} // namespace memento
+
+#endif // MEMENTO_SIM_SIZE_CLASS_H

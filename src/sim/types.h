@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator module.
+ */
+
+#ifndef MEMENTO_SIM_TYPES_H
+#define MEMENTO_SIM_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace memento {
+
+/** A virtual or physical byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** A count of core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A count of retired instructions. */
+using InstCount = std::uint64_t;
+
+/** Base-2 logarithm of the simulated page size (4 KiB pages). */
+inline constexpr unsigned kPageShift = 12;
+
+/** Simulated page size in bytes. */
+inline constexpr std::uint64_t kPageSize = 1ull << kPageShift;
+
+/** Base-2 logarithm of the cache-line size (64 B lines). */
+inline constexpr unsigned kLineShift = 6;
+
+/** Cache-line size in bytes. */
+inline constexpr std::uint64_t kLineSize = 1ull << kLineShift;
+
+/** An invalid / null simulated address sentinel. */
+inline constexpr Addr kNullAddr = 0;
+
+/** Round @p addr down to the containing page boundary. */
+constexpr Addr
+pageBase(Addr addr)
+{
+    return addr & ~(kPageSize - 1);
+}
+
+/** Round @p addr down to the containing cache-line boundary. */
+constexpr Addr
+lineBase(Addr addr)
+{
+    return addr & ~(kLineSize - 1);
+}
+
+/** Round @p value up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** True if @p value is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Integer log2 of a power-of-two @p value. */
+constexpr unsigned
+log2Exact(std::uint64_t value)
+{
+    unsigned shift = 0;
+    while ((1ull << shift) < value)
+        ++shift;
+    return shift;
+}
+
+} // namespace memento
+
+#endif // MEMENTO_SIM_TYPES_H

@@ -1,0 +1,44 @@
+#include "wl/distributions.h"
+
+#include "sim/logging.h"
+
+namespace memento {
+
+SizeDistribution::SizeDistribution(std::vector<SizeBucket> buckets)
+    : buckets_(std::move(buckets))
+{
+    fatal_if(buckets_.empty(), "size distribution with no buckets");
+    for (const SizeBucket &b : buckets_) {
+        fatal_if(b.lo == 0 || b.hi < b.lo, "bad size bucket");
+        weights_.push_back(b.weight);
+    }
+}
+
+std::uint64_t
+SizeDistribution::sample(Rng &rng) const
+{
+    const SizeBucket &b = buckets_[rng.nextWeighted(weights_)];
+    // Sample on an 8-byte lattice so sizes look like rounded requests.
+    const std::uint64_t lo_g = (b.lo + 7) / 8;
+    const std::uint64_t hi_g = b.hi / 8 > lo_g ? b.hi / 8 : lo_g;
+    return rng.nextRange(lo_g, hi_g) * 8;
+}
+
+std::uint64_t
+LifetimeModel::sampleDistance(Rng &rng) const
+{
+    if (rng.nextBool(pShort)) {
+        // 1 + geometric with the requested mean (mean >= 1).
+        const double mean = meanShortDistance > 1.0 ? meanShortDistance
+                                                    : 1.0;
+        return 1 + rng.nextGeometric(1.0 / mean);
+    }
+    if (pLongFreed > 0.0 && rng.nextBool(pLongFreed)) {
+        const double mean = meanLongDistance > 1.0 ? meanLongDistance
+                                                   : 1.0;
+        return 1 + rng.nextGeometric(1.0 / mean);
+    }
+    return 0; // Never freed in-trace: batch-freed at exit.
+}
+
+} // namespace memento

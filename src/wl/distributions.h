@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Sampling distributions used to synthesize allocation traces.
+ *
+ * Each paper workload is reduced to the statistics §2.2 measures:
+ * an allocation-size mixture and a bimodal lifetime distribution
+ * (short-lived objects freed within a few same-class allocations vs.
+ * long-lived objects reclaimed only at function exit / by GC).
+ */
+
+#ifndef MEMENTO_WL_DISTRIBUTIONS_H
+#define MEMENTO_WL_DISTRIBUTIONS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace memento {
+
+/** A weighted size range [lo, hi] sampled uniformly (8 B granules). */
+struct SizeBucket
+{
+    double weight = 1.0;
+    std::uint64_t lo = 8;
+    std::uint64_t hi = 64;
+};
+
+/** Mixture-of-ranges allocation size distribution. */
+class SizeDistribution
+{
+  public:
+    SizeDistribution() = default;
+    explicit SizeDistribution(std::vector<SizeBucket> buckets);
+
+    /** Draw one allocation size (bytes, >= 1). */
+    std::uint64_t sample(Rng &rng) const;
+
+    const std::vector<SizeBucket> &buckets() const { return buckets_; }
+
+  private:
+    std::vector<SizeBucket> buckets_;
+    std::vector<double> weights_;
+};
+
+/** Bimodal lifetime model in units of same-size-class allocations. */
+struct LifetimeModel
+{
+    /** Probability an object is short-lived. */
+    double pShort = 0.7;
+    /**
+     * Mean of the (1 + geometric) short distance; the paper observes
+     * most short-lived objects die within 16 same-class allocations.
+     */
+    double meanShortDistance = 5.0;
+    /**
+     * Probability a long-lived object is freed late (large distance)
+     * rather than never (OS batch-free at exit).
+     */
+    double pLongFreed = 0.1;
+    /** Mean distance of late-freed long-lived objects. */
+    double meanLongDistance = 400.0;
+
+    /**
+     * Draw a malloc-free distance; 0 means "never freed in-trace".
+     */
+    std::uint64_t sampleDistance(Rng &rng) const;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_WL_DISTRIBUTIONS_H

@@ -1,0 +1,87 @@
+#include "wl/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "sim/logging.h"
+
+namespace memento {
+namespace {
+
+const char *
+opName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Compute: return "C";
+      case OpKind::Load: return "L";
+      case OpKind::Store: return "S";
+      case OpKind::Malloc: return "M";
+      case OpKind::Free: return "F";
+      case OpKind::StaticLoad: return "l";
+      case OpKind::StaticStore: return "s";
+      case OpKind::FunctionEnd: return "E";
+    }
+    panic("bad op kind");
+}
+
+bool
+opFromName(const std::string &name, OpKind &kind)
+{
+    if (name == "C") kind = OpKind::Compute;
+    else if (name == "L") kind = OpKind::Load;
+    else if (name == "S") kind = OpKind::Store;
+    else if (name == "M") kind = OpKind::Malloc;
+    else if (name == "F") kind = OpKind::Free;
+    else if (name == "l") kind = OpKind::StaticLoad;
+    else if (name == "s") kind = OpKind::StaticStore;
+    else if (name == "E") kind = OpKind::FunctionEnd;
+    else return false;
+    return true;
+}
+
+} // namespace
+
+void
+writeTrace(const Trace &trace, std::ostream &os)
+{
+    for (const TraceOp &op : trace) {
+        os << opName(op.kind) << ' ' << op.value << ' ' << op.objId << ' '
+           << op.offset << '\n';
+    }
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    Trace trace;
+    std::string line;
+    std::uint64_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string name;
+        TraceOp op;
+        ls >> name >> op.value >> op.objId >> op.offset;
+        fatal_if(ls.fail() || !opFromName(name, op.kind),
+                 "trace parse error at line ", line_no);
+        trace.push_back(op);
+    }
+    return trace;
+}
+
+std::uint64_t
+countOps(const Trace &trace, OpKind kind)
+{
+    std::uint64_t n = 0;
+    for (const TraceOp &op : trace) {
+        if (op.kind == kind)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace memento

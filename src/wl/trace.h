@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Allocation-trace operation stream.
+ *
+ * Workloads are abstract operation streams: compute bursts, loads and
+ * stores addressed by object id + offset, mallocs and frees, and a
+ * function-end marker. The same stream is replayed against the baseline
+ * and the Memento machine so comparisons are exactly paired. Traces can
+ * be serialized to a simple line-oriented text format for
+ * record/replay.
+ */
+
+#ifndef MEMENTO_WL_TRACE_H
+#define MEMENTO_WL_TRACE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace memento {
+
+/** Trace operation kinds. */
+enum class OpKind : std::uint8_t {
+    Compute,     ///< Retire `value` application instructions.
+    Load,        ///< Read object `objId` at byte `offset`.
+    Store,       ///< Write object `objId` at byte `offset`.
+    Malloc,      ///< Allocate `value` bytes as object `objId`.
+    Free,        ///< Release object `objId`.
+    StaticLoad,  ///< Read the static working set at byte `offset`.
+    StaticStore, ///< Write the static working set at byte `offset`.
+    FunctionEnd, ///< Function completes; batch-free everything live.
+};
+
+/** One operation. */
+struct TraceOp
+{
+    OpKind kind = OpKind::Compute;
+    std::uint64_t value = 0;  ///< Instructions (Compute) or size (Malloc).
+    std::uint64_t objId = 0;  ///< Object identity for Malloc/Free/L/S.
+    std::uint64_t offset = 0; ///< Byte offset for Load/Store/Static*.
+
+    bool operator==(const TraceOp &) const = default;
+};
+
+/** A full operation stream. */
+using Trace = std::vector<TraceOp>;
+
+/** Write @p trace to @p os in the text format. */
+void writeTrace(const Trace &trace, std::ostream &os);
+
+/**
+ * Parse a trace written by writeTrace(). Calls fatal() on malformed
+ * input (a user error, not a simulator bug).
+ */
+Trace readTrace(std::istream &is);
+
+/** Count operations of @p kind in @p trace. */
+std::uint64_t countOps(const Trace &trace, OpKind kind);
+
+} // namespace memento
+
+#endif // MEMENTO_WL_TRACE_H

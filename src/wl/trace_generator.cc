@@ -1,0 +1,160 @@
+#include "wl/trace_generator.h"
+
+#include <deque>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/size_class.h"
+
+namespace memento {
+
+Trace
+TraceGenerator::generate() const
+{
+    Rng rng(spec_.seed * 0x9e3779b97f4a7c15ull + 0xD1B54A32D192ED03ull);
+    Trace trace;
+    trace.reserve(spec_.numAllocs * 8);
+
+    std::uint64_t next_id = 1;
+
+    // Per-size-class allocation counters and death schedules. Deaths
+    // are keyed by the class counter value at which they become due.
+    std::vector<std::uint64_t> class_count(kNumSmallClasses, 0);
+    std::vector<std::map<std::uint64_t, std::vector<std::uint64_t>>>
+        due_small(kNumSmallClasses);
+
+    // Large-object deaths scheduled on the global allocation counter.
+    std::map<std::uint64_t, std::vector<std::uint64_t>> due_large;
+
+    // Recently allocated live objects (targets for reuse loads).
+    struct Recent
+    {
+        std::uint64_t objId;
+        std::uint64_t size;
+    };
+    std::deque<Recent> recent;
+    std::unordered_set<std::uint64_t> freed;
+
+    auto touch_offset = [&](std::uint64_t size, unsigned line) {
+        const std::uint64_t off = static_cast<std::uint64_t>(line) *
+                                  kLineSize;
+        return off < size ? off : size - 1;
+    };
+
+    for (std::uint64_t i = 0; i < spec_.numAllocs; ++i) {
+        // Application compute between allocation events.
+        trace.push_back(
+            {OpKind::Compute, spec_.computePerAlloc, 0, 0});
+
+        // Background references into the static working set.
+        for (unsigned a = 0; a < spec_.staticAccesses; ++a) {
+            const std::uint64_t off = rng.nextBelow(spec_.staticWsBytes);
+            trace.push_back({rng.nextBool(0.3) ? OpKind::StaticStore
+                                               : OpKind::StaticLoad,
+                             0, 0, off});
+        }
+
+        // The allocation itself.
+        const bool is_large = rng.nextBool(spec_.pLarge);
+        const std::uint64_t size = is_large
+                                       ? spec_.largeDist.sample(rng)
+                                       : spec_.sizeDist.sample(rng);
+        const std::uint64_t id = next_id++;
+        trace.push_back({OpKind::Malloc, size, id, 0});
+
+        // Initialize the object: stores to its leading lines.
+        const unsigned obj_lines =
+            static_cast<unsigned>((size + kLineSize - 1) / kLineSize);
+        const unsigned stores = spec_.touchStores < obj_lines
+                                    ? spec_.touchStores
+                                    : obj_lines;
+        for (unsigned t = 0; t < stores; ++t)
+            trace.push_back(
+                {OpKind::Store, 0, id, touch_offset(size, t)});
+
+        // Reuse loads over recently allocated objects.
+        recent.push_back({id, size});
+        if (recent.size() > 64)
+            recent.pop_front();
+        for (unsigned t = 0; t < spec_.touchLoads; ++t) {
+            // Pick a still-live recent object (never read freed memory).
+            const Recent *target = nullptr;
+            for (unsigned attempt = 0; attempt < 4 && !target; ++attempt) {
+                const Recent &r = recent[rng.nextBelow(recent.size())];
+                if (!freed.count(r.objId))
+                    target = &r;
+            }
+            if (!target)
+                target = &recent.back(); // The fresh object, never freed.
+            const unsigned line = static_cast<unsigned>(rng.nextBelow(
+                (target->size + kLineSize - 1) / kLineSize));
+            trace.push_back({OpKind::Load, 0, target->objId,
+                             touch_offset(target->size, line)});
+        }
+
+        // Schedule the death.
+        if (!is_large) {
+            const unsigned cls = sizeClassIndex(
+                size <= kMaxSmallSize ? size : kMaxSmallSize);
+            ++class_count[cls];
+            const std::uint64_t distance =
+                spec_.lifetime.sampleDistance(rng);
+            if (distance > 0) {
+                due_small[cls][class_count[cls] + distance].push_back(id);
+            }
+            // Emit deaths that have become due for this class.
+            auto &due = due_small[cls];
+            while (!due.empty() &&
+                   due.begin()->first <= class_count[cls]) {
+                for (std::uint64_t dead : due.begin()->second) {
+                    trace.push_back({OpKind::Free, 0, dead, 0});
+                    freed.insert(dead);
+                }
+                due.erase(due.begin());
+            }
+        } else {
+            if (rng.nextBool(spec_.pLargeShort)) {
+                const std::uint64_t distance =
+                    1 + rng.nextGeometric(1.0 / 6.0);
+                due_large[i + 1 + distance].push_back(id);
+            }
+            auto it = due_large.begin();
+            while (it != due_large.end() && it->first <= i + 1) {
+                for (std::uint64_t dead : it->second) {
+                    trace.push_back({OpKind::Free, 0, dead, 0});
+                    freed.insert(dead);
+                }
+                it = due_large.erase(it);
+            }
+        }
+
+        // Phase burst: allocate a scratch buffer set, touch it, free it
+        // wholesale at the end of the phase.
+        if (spec_.burstEvery != 0 && (i + 1) % spec_.burstEvery == 0) {
+            const std::uint64_t count =
+                spec_.burstBytes / spec_.burstObjSize;
+            std::vector<std::uint64_t> burst_ids;
+            burst_ids.reserve(count);
+            for (std::uint64_t b = 0; b < count; ++b) {
+                const std::uint64_t bid = next_id++;
+                burst_ids.push_back(bid);
+                trace.push_back(
+                    {OpKind::Malloc, spec_.burstObjSize, bid, 0});
+                trace.push_back({OpKind::Store, 0, bid, 0});
+            }
+            trace.push_back({OpKind::Compute, spec_.computePerAlloc, 0,
+                             0});
+            for (std::uint64_t bid : burst_ids) {
+                trace.push_back({OpKind::Free, 0, bid, 0});
+                freed.insert(bid);
+            }
+        }
+    }
+
+    trace.push_back({OpKind::FunctionEnd, 0, 0, 0});
+    return trace;
+}
+
+} // namespace memento

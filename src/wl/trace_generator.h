@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Synthesizes operation traces from a WorkloadSpec.
+ *
+ * The generator reproduces the paper's measured structure: a stream of
+ * allocation events separated by compute, each allocating from the
+ * spec's size mixture, touching the fresh object, reading recent
+ * objects and the static working set, and dying after a malloc-free
+ * distance drawn from the bimodal lifetime model (distance counted in
+ * same-size-class allocations, exactly the §2.2 metric). Never-freed
+ * objects are reclaimed by the FunctionEnd batch free.
+ */
+
+#ifndef MEMENTO_WL_TRACE_GENERATOR_H
+#define MEMENTO_WL_TRACE_GENERATOR_H
+
+#include "wl/trace.h"
+#include "wl/workloads.h"
+
+namespace memento {
+
+/** Deterministic trace synthesis. */
+class TraceGenerator
+{
+  public:
+    explicit TraceGenerator(const WorkloadSpec &spec) : spec_(spec) {}
+
+    /** Generate the full trace (same spec + seed => same trace). */
+    Trace generate() const;
+
+  private:
+    const WorkloadSpec &spec_;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_WL_TRACE_GENERATOR_H

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the analysis utilities: histograms, trace profiling,
+ * pricing, the CACTI-lite model, and text reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "an/cacti_lite.h"
+#include "an/histogram.h"
+#include "an/lifetime.h"
+#include "an/pricing.h"
+#include "an/report.h"
+#include "wl/trace_generator.h"
+#include "wl/workloads.h"
+
+namespace memento {
+namespace {
+
+TEST(HistogramTest, BucketEdgesAndLabels)
+{
+    Histogram h({1, 10, 100});
+    EXPECT_EQ(h.buckets(), 3u);
+    EXPECT_EQ(h.label(0), "[1, 9]");
+    EXPECT_EQ(h.label(2), "[100, Inf]");
+
+    h.add(1);
+    h.add(9);
+    h.add(10);
+    h.add(1'000'000);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_DOUBLE_EQ(h.percent(0), 50.0);
+}
+
+TEST(HistogramTest, WeightsAndMerge)
+{
+    Histogram a({1, 10});
+    Histogram b({1, 10});
+    a.add(5, 3);
+    b.add(20, 2);
+    a.merge(b);
+    EXPECT_EQ(a.count(0), 3u);
+    EXPECT_EQ(a.count(1), 2u);
+    EXPECT_EQ(a.total(), 5u);
+}
+
+TEST(HistogramTest, PaperBucketings)
+{
+    Histogram size = Histogram::allocationSize();
+    EXPECT_EQ(size.buckets(), 9u);
+    EXPECT_EQ(size.label(0), "[1, 512]");
+    EXPECT_EQ(size.label(8), "[4097, Inf]");
+
+    Histogram life = Histogram::lifetime();
+    EXPECT_EQ(life.buckets(), 17u);
+    EXPECT_EQ(life.label(0), "[1, 16]");
+    EXPECT_EQ(life.label(16), "[257, Inf]");
+}
+
+TEST(ProfileTest, CountsAndJointClassification)
+{
+    Trace trace = {
+        {OpKind::Compute, 1000, 0, 0},
+        {OpKind::Malloc, 64, 1, 0},   // Small, freed quickly.
+        {OpKind::Malloc, 64, 2, 0},   // Small, never freed.
+        {OpKind::Free, 0, 1, 0},
+        {OpKind::Malloc, 2048, 3, 0}, // Large, freed quickly.
+        {OpKind::Free, 0, 3, 0},
+        {OpKind::FunctionEnd, 0, 0, 0},
+    };
+    TraceProfile profile = profileTrace(trace);
+    EXPECT_EQ(profile.allocations, 3u);
+    EXPECT_EQ(profile.frees, 2u);
+    EXPECT_DOUBLE_EQ(profile.joint.smallShort, 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(profile.joint.smallLong, 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(profile.joint.largeShort, 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(profile.joint.largeLong, 0.0);
+    EXPECT_DOUBLE_EQ(profile.mallocPki, 3.0);
+}
+
+TEST(ProfileTest, DistanceIsPerSizeClass)
+{
+    // Object 1 (class 8B) survives 2 allocations of ITS class even
+    // though other-class allocations happen in between.
+    Trace trace = {
+        {OpKind::Malloc, 8, 1, 0},
+        {OpKind::Malloc, 256, 2, 0},
+        {OpKind::Malloc, 256, 3, 0},
+        {OpKind::Malloc, 8, 4, 0},
+        {OpKind::Free, 0, 1, 0},
+        {OpKind::FunctionEnd, 0, 0, 0},
+    };
+    TraceProfile profile = profileTrace(trace);
+    // Distance 1 lands in the [1,16] bucket.
+    EXPECT_GE(profile.lifetimeHist.count(0), 1u);
+}
+
+TEST(ProfileTest, NeverFreedLandsInTail)
+{
+    Trace trace = {{OpKind::Malloc, 8, 1, 0},
+                   {OpKind::FunctionEnd, 0, 0, 0}};
+    TraceProfile profile = profileTrace(trace);
+    EXPECT_EQ(profile.lifetimeHist.count(16), 1u); // [257, Inf].
+}
+
+TEST(ProfileTest, GeneratedTraceRoughlyMatchesLifetimeModel)
+{
+    WorkloadSpec spec;
+    spec.id = "prof";
+    spec.numAllocs = 20000;
+    spec.sizeDist = SizeDistribution({SizeBucket{1.0, 16, 64}});
+    spec.largeDist = SizeDistribution({SizeBucket{1.0, 520, 1024}});
+    spec.lifetime = {.pShort = 0.75, .meanShortDistance = 4.0,
+                     .pLongFreed = 0.0, .meanLongDistance = 100.0};
+    spec.pLarge = 0.0;
+    spec.seed = 11;
+    Trace trace = TraceGenerator(spec).generate();
+    TraceProfile profile = profileTrace(trace);
+    // ~75% of allocations should die within the short window; the
+    // geometric tail past 16 is small.
+    EXPECT_NEAR(profile.lifetimeHist.percent(0), 75.0, 5.0);
+    EXPECT_NEAR(profile.joint.smallLong, 0.25, 0.05);
+}
+
+TEST(PricingTest, MsGranularityRoundsUp)
+{
+    PricingModel pricing;
+    const double one_ms = pricing.runtimeCostUsd(0.2, 1024);
+    EXPECT_DOUBLE_EQ(one_ms, pricing.runtimeCostUsd(1.0, 1024));
+    EXPECT_LT(one_ms, pricing.runtimeCostUsd(1.01, 1024));
+}
+
+TEST(PricingTest, ScalesWithMemory)
+{
+    PricingModel pricing;
+    EXPECT_NEAR(pricing.runtimeCostUsd(10, 2048) /
+                    pricing.runtimeCostUsd(10, 1024),
+                2.0, 1e-9);
+}
+
+TEST(PricingTest, InvocationFeeAddsFixedCost)
+{
+    PricingModel pricing;
+    const double runtime = pricing.runtimeCostUsd(5, 128);
+    EXPECT_DOUBLE_EQ(pricing.totalCostUsd(5, 128),
+                     runtime + pricing.usdPerInvocation);
+}
+
+TEST(CactiTest, ReproducesTable3Anchors)
+{
+    CactiLite cacti(22.0);
+    SramCost hot = cacti.hotCost();
+    EXPECT_NEAR(hot.areaMm2, 0.0084, 1e-4);
+    EXPECT_NEAR(hot.powerMw, 1.32, 1e-2);
+    SramCost aac = cacti.aacCost();
+    EXPECT_NEAR(aac.areaMm2, 0.0023, 1e-4);
+    EXPECT_NEAR(aac.powerMw, 0.43, 1e-2);
+}
+
+TEST(CactiTest, MonotoneInSizeAndNode)
+{
+    CactiLite cacti(22.0);
+    EXPECT_GT(cacti.estimate(8192).areaMm2,
+              cacti.estimate(2048).areaMm2);
+    CactiLite bigger(32.0);
+    EXPECT_GT(bigger.estimate(4096).areaMm2,
+              cacti.estimate(4096).areaMm2);
+}
+
+TEST(ReportTest, TableAlignsColumns)
+{
+    TextTable t({"A", "LongHeader"});
+    t.newRow();
+    t.cell("x");
+    t.cell(std::uint64_t{42});
+    t.newRow();
+    t.cell(1.5, 1);
+    t.cell("y");
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("LongHeader"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+}
+
+TEST(ReportTest, PercentAndBars)
+{
+    EXPECT_EQ(percentStr(0.163), "16.3%");
+    EXPECT_EQ(percentStr(1.0, 0), "100%");
+    EXPECT_EQ(asciiBar(0.5, 4), "##..");
+    EXPECT_EQ(asciiBar(-1.0, 4), "....");
+    EXPECT_EQ(asciiBar(2.0, 4), "####");
+}
+
+} // namespace
+} // namespace memento

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit and property tests for the physical buddy allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "os/buddy_allocator.h"
+#include "sim/rng.h"
+
+namespace memento {
+namespace {
+
+constexpr Addr kBase = 1ull << 22;
+constexpr std::uint64_t kSize = 16ull << 20; // 16 MiB = 4096 pages.
+
+class BuddyTest : public ::testing::Test
+{
+  protected:
+    StatRegistry stats;
+    BuddyAllocator buddy{kBase, kSize, stats};
+};
+
+TEST_F(BuddyTest, AllocateReturnsAlignedBlocks)
+{
+    for (unsigned order = 0; order <= BuddyAllocator::kMaxOrder;
+         ++order) {
+        Addr block = buddy.allocate(order);
+        ASSERT_NE(block, kNullAddr);
+        EXPECT_EQ((block - kBase) % (kPageSize << order), 0u);
+        buddy.free(block, order);
+    }
+    EXPECT_TRUE(buddy.checkInvariants());
+}
+
+TEST_F(BuddyTest, PagesAreDistinct)
+{
+    std::vector<Addr> pages;
+    for (int i = 0; i < 256; ++i)
+        pages.push_back(buddy.allocatePage());
+    std::sort(pages.begin(), pages.end());
+    EXPECT_TRUE(std::adjacent_find(pages.begin(), pages.end()) ==
+                pages.end());
+    EXPECT_EQ(buddy.allocatedPages(), 256u);
+}
+
+TEST_F(BuddyTest, FreeCoalescesBackToFull)
+{
+    std::vector<Addr> pages;
+    for (int i = 0; i < 1024; ++i)
+        pages.push_back(buddy.allocatePage());
+    for (Addr p : pages)
+        buddy.freePage(p);
+    EXPECT_EQ(buddy.allocatedPages(), 0u);
+    EXPECT_TRUE(buddy.checkInvariants());
+    // After full coalescing, a max-order block must be allocatable.
+    Addr big = buddy.allocate(BuddyAllocator::kMaxOrder);
+    EXPECT_NE(big, kNullAddr);
+}
+
+TEST_F(BuddyTest, ExhaustionReturnsNull)
+{
+    const std::uint64_t total = buddy.totalPages();
+    std::vector<Addr> pages;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        Addr p = buddy.allocatePage();
+        ASSERT_NE(p, kNullAddr);
+        pages.push_back(p);
+    }
+    EXPECT_EQ(buddy.allocatePage(), kNullAddr);
+    EXPECT_EQ(buddy.freePages(), 0u);
+    for (Addr p : pages)
+        buddy.freePage(p);
+    EXPECT_EQ(buddy.freePages(), total);
+}
+
+TEST_F(BuddyTest, PeakTracksHighWater)
+{
+    Addr a = buddy.allocatePage();
+    Addr b = buddy.allocatePage();
+    buddy.freePage(a);
+    buddy.freePage(b);
+    EXPECT_EQ(buddy.peakAllocatedPages(), 2u);
+}
+
+TEST_F(BuddyTest, MixedOrdersDoNotOverlap)
+{
+    std::map<Addr, std::uint64_t> live; // base -> bytes
+    Rng rng(99);
+    std::vector<std::pair<Addr, unsigned>> blocks;
+    for (int i = 0; i < 300; ++i) {
+        unsigned order = static_cast<unsigned>(rng.nextBelow(6));
+        Addr block = buddy.allocate(order);
+        if (block == kNullAddr)
+            continue;
+        const std::uint64_t bytes = kPageSize << order;
+        // Check overlap against all live blocks.
+        auto next = live.lower_bound(block);
+        if (next != live.end())
+            ASSERT_GE(next->first, block + bytes);
+        if (next != live.begin()) {
+            auto prev = std::prev(next);
+            ASSERT_LE(prev->first + prev->second, block);
+        }
+        live[block] = bytes;
+        blocks.push_back({block, order});
+        // Randomly free some.
+        if (rng.nextBool(0.4) && !blocks.empty()) {
+            auto pick = blocks.begin() + rng.nextBelow(blocks.size());
+            buddy.free(pick->first, pick->second);
+            live.erase(pick->first);
+            blocks.erase(pick);
+        }
+    }
+    for (auto &[block, order] : blocks)
+        buddy.free(block, order);
+    EXPECT_TRUE(buddy.checkInvariants());
+    EXPECT_EQ(buddy.allocatedPages(), 0u);
+}
+
+/** Property sweep: random alloc/free traffic preserves the invariant
+ *  free+live == total for several seeds. */
+class BuddyPropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BuddyPropertyTest, RandomTrafficKeepsInvariants)
+{
+    StatRegistry stats;
+    BuddyAllocator buddy(kBase, 8ull << 20, stats);
+    Rng rng(GetParam());
+    std::vector<std::pair<Addr, unsigned>> live;
+    for (int i = 0; i < 2000; ++i) {
+        if (live.empty() || rng.nextBool(0.55)) {
+            unsigned order = static_cast<unsigned>(rng.nextBelow(4));
+            Addr block = buddy.allocate(order);
+            if (block != kNullAddr)
+                live.push_back({block, order});
+        } else {
+            std::size_t pick = rng.nextBelow(live.size());
+            buddy.free(live[pick].first, live[pick].second);
+            live.erase(live.begin() + pick);
+        }
+    }
+    EXPECT_TRUE(buddy.checkInvariants());
+    for (auto &[block, order] : live)
+        buddy.free(block, order);
+    EXPECT_TRUE(buddy.checkInvariants());
+    EXPECT_EQ(buddy.allocatedPages(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace memento

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the configuration-file parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/config_file.h"
+
+namespace memento {
+namespace {
+
+TEST(ConfigFile, ParsesTypesAndSuffixes)
+{
+    MachineConfig cfg = defaultConfig();
+    std::istringstream is(R"(
+# comment line
+core.freq_ghz = 2.5
+l1d.size = 64k          # inline comment
+llc.size = 4m
+dram.size = 32g
+memento.enabled = true
+memento.bypass = off
+kernel.fault_instructions = 1234
+)");
+    applyConfigStream(is, cfg);
+    EXPECT_DOUBLE_EQ(cfg.core.freqGhz, 2.5);
+    EXPECT_EQ(cfg.l1d.sizeBytes, 64u << 10);
+    EXPECT_EQ(cfg.llc.sizeBytes, 4u << 20);
+    EXPECT_EQ(cfg.dram.sizeBytes, 32ull << 30);
+    EXPECT_TRUE(cfg.memento.enabled);
+    EXPECT_FALSE(cfg.memento.bypassEnabled);
+    EXPECT_EQ(cfg.kernel.faultInstructions, 1234u);
+}
+
+TEST(ConfigFile, SingleOptionOverride)
+{
+    MachineConfig cfg = defaultConfig();
+    applyConfigOption("memento.objects_per_arena", "128", cfg);
+    applyConfigOption("tuning.pymalloc_arena", "512k", cfg);
+    applyConfigOption("core.store_hidden", "0.5", cfg);
+    EXPECT_EQ(cfg.memento.objectsPerArena, 128u);
+    EXPECT_EQ(cfg.tuning.pymallocArenaBytes, 512u << 10);
+    EXPECT_DOUBLE_EQ(cfg.core.storeLatencyHiddenFraction, 0.5);
+}
+
+TEST(ConfigFile, BooleanSpellings)
+{
+    MachineConfig cfg = defaultConfig();
+    for (const char *yes : {"true", "on", "1", "yes"}) {
+        cfg.memento.enabled = false;
+        applyConfigOption("memento.enabled", yes, cfg);
+        EXPECT_TRUE(cfg.memento.enabled) << yes;
+    }
+    for (const char *no : {"false", "off", "0", "no"}) {
+        cfg.memento.enabled = true;
+        applyConfigOption("memento.enabled", no, cfg);
+        EXPECT_FALSE(cfg.memento.enabled) << no;
+    }
+}
+
+TEST(ConfigFileDeath, UnknownKeyIsFatal)
+{
+    MachineConfig cfg = defaultConfig();
+    EXPECT_DEATH(applyConfigOption("l1d.sizze", "64k", cfg),
+                 "unknown key");
+}
+
+TEST(ConfigFileDeath, MalformedValueIsFatal)
+{
+    MachineConfig cfg = defaultConfig();
+    EXPECT_DEATH(applyConfigOption("l1d.size", "sixty-four", cfg),
+                 "bad integer");
+    EXPECT_DEATH(applyConfigOption("core.freq_ghz", "fast", cfg),
+                 "bad number");
+    EXPECT_DEATH(applyConfigOption("memento.enabled", "maybe", cfg),
+                 "bad boolean");
+}
+
+TEST(ConfigFileDeath, MissingEqualsIsFatal)
+{
+    MachineConfig cfg = defaultConfig();
+    std::istringstream is("l1d.size 64k\n");
+    EXPECT_DEATH(applyConfigStream(is, cfg), "missing '='");
+}
+
+TEST(ConfigFile, EmptyAndCommentOnlyStreamsAreFine)
+{
+    MachineConfig cfg = defaultConfig();
+    std::istringstream is("\n\n# nothing here\n   \n");
+    applyConfigStream(is, cfg);
+    EXPECT_EQ(cfg.l1d.sizeBytes, 32u << 10); // Unchanged defaults.
+}
+
+TEST(ConfigFile, ParsedConfigDrivesRealMachineGeometry)
+{
+    MachineConfig cfg = defaultConfig();
+    std::istringstream is("l1d.size = 16k\nl1d.ways = 4\n");
+    applyConfigStream(is, cfg);
+    EXPECT_EQ(cfg.l1d.numSets(), (16u << 10) / (4 * 64));
+}
+
+} // namespace
+} // namespace memento

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * End-to-end experiment invariants: the paired baseline/Memento runs
+ * must agree on the work performed, and the paper's headline effects
+ * must hold directionally even at tiny scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/breakdown.h"
+#include "machine/experiment.h"
+#include "wl/trace_generator.h"
+
+namespace memento {
+namespace {
+
+WorkloadSpec
+smallWorkload(Language lang)
+{
+    WorkloadSpec spec;
+    spec.id = "e2e";
+    spec.lang = lang;
+    spec.numAllocs = 4000;
+    spec.sizeDist = SizeDistribution(
+        {SizeBucket{0.7, 16, 128}, SizeBucket{0.3, 129, 512}});
+    spec.largeDist = SizeDistribution({SizeBucket{1.0, 520, 4096}});
+    spec.lifetime = {.pShort = lang == Language::Golang ? 0.0 : 0.8,
+                     .meanShortDistance = 4.0,
+                     .pLongFreed = 0.0,
+                     .meanLongDistance = 100.0};
+    spec.pLarge = 0.01;
+    spec.computePerAlloc = 120;
+    spec.staticWsBytes = 256 << 10;
+    spec.rpcBytes = 2048;
+    spec.seed = 77;
+    return spec;
+}
+
+class ExperimentTest : public ::testing::TestWithParam<Language>
+{
+};
+
+TEST_P(ExperimentTest, MementoWinsAndReducesKernelWork)
+{
+    Comparison cmp = Experiment::compareDefault(smallWorkload(GetParam()));
+
+    // Memento must be faster on allocation-heavy work.
+    EXPECT_GT(cmp.speedup(), 1.0);
+    // The kernel memory-management cycles must collapse.
+    EXPECT_LT(cmp.memento.kernelMmCycles(), cmp.base.kernelMmCycles());
+    // Memento replaces userspace allocator work with hardware work.
+    EXPECT_LT(cmp.memento.userMmCycles(), cmp.base.userMmCycles());
+    EXPECT_GT(cmp.memento.hwMmCycles(), 0u);
+    EXPECT_EQ(cmp.base.hwMmCycles(), 0u);
+    // Fewer page faults on the Memento machine.
+    EXPECT_LE(cmp.memento.pageFaults, cmp.base.pageFaults);
+}
+
+TEST_P(ExperimentTest, PairedRunsDoTheSameApplicationWork)
+{
+    const WorkloadSpec spec = smallWorkload(GetParam());
+    Comparison cmp = Experiment::compareDefault(spec);
+    // Identical traces: identical application compute cycles.
+    EXPECT_EQ(cmp.base.category(CycleCategory::AppCompute),
+              cmp.memento.category(CycleCategory::AppCompute));
+    EXPECT_EQ(cmp.base.category(CycleCategory::Rpc),
+              cmp.memento.category(CycleCategory::Rpc));
+    // Same number of small allocations performed.
+    EXPECT_EQ(cmp.base.objAllocs, cmp.memento.objAllocs);
+}
+
+TEST_P(ExperimentTest, BypassSavesTrafficNotCorrectness)
+{
+    Comparison cmp = Experiment::compareDefault(smallWorkload(GetParam()));
+    EXPECT_GT(cmp.memento.bypassedLines, 0u);
+    EXPECT_EQ(cmp.mementoNoBypass.bypassedLines, 0u);
+    EXPECT_LE(cmp.memento.dramBytes, cmp.mementoNoBypass.dramBytes);
+}
+
+TEST_P(ExperimentTest, BreakdownSharesAreNormalized)
+{
+    Comparison cmp = Experiment::compareDefault(smallWorkload(GetParam()));
+    Breakdown bd = computeBreakdown(cmp);
+    const double sum =
+        bd.objAlloc + bd.objFree + bd.pageMgmt + bd.bypass;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_GE(bd.objAlloc, 0.0);
+    EXPECT_GE(bd.objFree, 0.0);
+    EXPECT_GE(bd.pageMgmt, 0.0);
+    EXPECT_GE(bd.bypass, 0.0);
+    EXPECT_GT(bd.savedCycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Languages, ExperimentTest,
+                         ::testing::Values(Language::Python,
+                                           Language::Cpp,
+                                           Language::Golang));
+
+TEST(ExperimentInvariants, DramBytesAreLineGranular)
+{
+    Comparison cmp =
+        Experiment::compareDefault(smallWorkload(Language::Python));
+    for (const RunResult *r :
+         {&cmp.base, &cmp.memento, &cmp.mementoNoBypass}) {
+        EXPECT_EQ(r->dramBytes % kLineSize, 0u);
+        EXPECT_EQ(r->dramBytes,
+                  (r->dramReads + r->dramWrites) * kLineSize);
+    }
+}
+
+TEST(ExperimentInvariants, HotHitRateIsHighOnChurn)
+{
+    Comparison cmp =
+        Experiment::compareDefault(smallWorkload(Language::Cpp));
+    const double alloc_rate =
+        static_cast<double>(cmp.memento.hotAllocHits) /
+        (cmp.memento.hotAllocHits + cmp.memento.hotAllocMisses);
+    EXPECT_GT(alloc_rate, 0.97);
+}
+
+TEST(ExperimentInvariants, MallaccModeUsesSoftwarePaths)
+{
+    MachineConfig mallacc = mementoConfig();
+    mallacc.memento.mallaccMode = true;
+    const WorkloadSpec spec = smallWorkload(Language::Cpp);
+    const Trace trace = TraceGenerator(spec).generate();
+    RunResult res = Experiment::runOne(spec, trace, mallacc);
+    // No HOT activity: Mallacc is a software allocator accelerator.
+    EXPECT_EQ(res.hotAllocHits + res.hotAllocMisses, 0u);
+    EXPECT_EQ(res.hwMmCycles(), 0u);
+}
+
+TEST(ExperimentInvariants, ColdStartSlowerThanWarm)
+{
+    const WorkloadSpec spec = smallWorkload(Language::Python);
+    const Trace trace = TraceGenerator(spec).generate();
+    RunResult warm = Experiment::runOne(spec, trace, defaultConfig());
+    RunOptions cold_opts;
+    cold_opts.coldStart = true;
+    RunResult cold =
+        Experiment::runOne(spec, trace, defaultConfig(), cold_opts);
+    EXPECT_GT(cold.cycles, warm.cycles);
+}
+
+TEST(ExperimentInvariants, IdenticalConfigsGiveIdenticalResults)
+{
+    const WorkloadSpec spec = smallWorkload(Language::Cpp);
+    const Trace trace = TraceGenerator(spec).generate();
+    RunResult a = Experiment::runOne(spec, trace, defaultConfig());
+    RunResult b = Experiment::runOne(spec, trace, defaultConfig());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.dramBytes, b.dramBytes);
+    EXPECT_EQ(a.pageFaults, b.pageFaults);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST(ExperimentInvariants, MapPopulateRaisesFootprintLowersFaults)
+{
+    const WorkloadSpec spec = smallWorkload(Language::Golang);
+    const Trace trace = TraceGenerator(spec).generate();
+    RunResult lazy = Experiment::runOne(spec, trace, defaultConfig());
+    MachineConfig pop = defaultConfig();
+    pop.kernel.mapPopulate = true;
+    RunResult eager = Experiment::runOne(spec, trace, pop);
+    EXPECT_LT(eager.pageFaults, lazy.pageFaults);
+    EXPECT_GT(eager.peakResidentPages, lazy.peakResidentPages);
+}
+
+} // namespace
+} // namespace memento

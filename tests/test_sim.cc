@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: cycle ledger, stats, RNG,
+ * configuration, and size classes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/config.h"
+#include "sim/cycles.h"
+#include "sim/rng.h"
+#include "sim/size_class.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace memento {
+namespace {
+
+TEST(Types, PageAndLineMath)
+{
+    EXPECT_EQ(pageBase(0x1234), 0x1000u);
+    EXPECT_EQ(pageBase(0x1000), 0x1000u);
+    EXPECT_EQ(lineBase(0x12345), 0x12340u);
+    EXPECT_EQ(alignUp(1, 8), 8u);
+    EXPECT_EQ(alignUp(8, 8), 8u);
+    EXPECT_EQ(alignUp(9, 8), 16u);
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+    EXPECT_EQ(log2Exact(4096), 12u);
+}
+
+TEST(SizeClass, RoundTrip)
+{
+    EXPECT_EQ(sizeClassIndex(1), 0u);
+    EXPECT_EQ(sizeClassIndex(8), 0u);
+    EXPECT_EQ(sizeClassIndex(9), 1u);
+    EXPECT_EQ(sizeClassIndex(512), 63u);
+    EXPECT_EQ(sizeClassBytes(0), 8u);
+    EXPECT_EQ(sizeClassBytes(63), 512u);
+    EXPECT_TRUE(isSmallSize(512));
+    EXPECT_FALSE(isSmallSize(513));
+    // Every size in [1, 512] maps to a class whose size covers it.
+    for (std::uint64_t size = 1; size <= kMaxSmallSize; ++size) {
+        const unsigned cls = sizeClassIndex(size);
+        EXPECT_LT(cls, kNumSmallClasses);
+        EXPECT_GE(sizeClassBytes(cls), size);
+        EXPECT_LT(sizeClassBytes(cls) - size, kSizeClassStep);
+    }
+}
+
+TEST(CycleLedger, ChargesCurrentCategory)
+{
+    CycleLedger ledger;
+    ledger.charge(10);
+    EXPECT_EQ(ledger.total(), 10u);
+    EXPECT_EQ(ledger.category(CycleCategory::AppCompute), 10u);
+
+    {
+        CategoryScope scope(ledger, CycleCategory::UserAlloc);
+        ledger.charge(5);
+        {
+            CategoryScope inner(ledger, CycleCategory::KernelFault);
+            ledger.charge(3);
+        }
+        ledger.charge(2);
+    }
+    ledger.charge(1);
+
+    EXPECT_EQ(ledger.total(), 21u);
+    EXPECT_EQ(ledger.category(CycleCategory::UserAlloc), 7u);
+    EXPECT_EQ(ledger.category(CycleCategory::KernelFault), 3u);
+    EXPECT_EQ(ledger.category(CycleCategory::AppCompute), 11u);
+}
+
+TEST(CycleLedger, MemoryManagementTotal)
+{
+    CycleLedger ledger;
+    ledger.charge(5, CycleCategory::UserAlloc);
+    ledger.charge(7, CycleCategory::KernelFault);
+    ledger.charge(11, CycleCategory::AppCompute);
+    ledger.charge(13, CycleCategory::HwPage);
+    EXPECT_EQ(ledger.memoryManagementTotal(), 25u);
+}
+
+TEST(CycleLedger, ResetClearsEverything)
+{
+    CycleLedger ledger;
+    ledger.charge(5, CycleCategory::UserFree);
+    ledger.reset();
+    EXPECT_EQ(ledger.total(), 0u);
+    EXPECT_EQ(ledger.category(CycleCategory::UserFree), 0u);
+}
+
+TEST(Stats, CountersPersistAndDump)
+{
+    StatRegistry stats;
+    Counter a = stats.counter("x.a");
+    Counter b = stats.counter("x.b");
+    a += 3;
+    ++b;
+    b.raiseTo(10);
+    b.raiseTo(5); // No effect.
+    EXPECT_EQ(stats.value("x.a"), 3u);
+    EXPECT_EQ(stats.value("x.b"), 10u);
+    EXPECT_EQ(stats.value("missing"), 0u);
+    EXPECT_DOUBLE_EQ(stats.ratio("x.a", "x.b"), 0.3);
+
+    std::ostringstream os;
+    stats.dump(os);
+    EXPECT_NE(os.str().find("x.a 3"), std::string::npos);
+
+    // Handles stay valid after more registrations.
+    for (int i = 0; i < 100; ++i)
+        stats.counter("y." + std::to_string(i));
+    a += 1;
+    EXPECT_EQ(stats.value("x.a"), 4u);
+
+    stats.resetAll();
+    EXPECT_EQ(stats.value("x.a"), 0u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    bool all_equal = true;
+    bool any_diff_seed = false;
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t va = a.next();
+        if (va != b.next())
+            all_equal = false;
+        if (va != c.next())
+            any_diff_seed = true;
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextBelow(17), 17u);
+        const std::uint64_t r = rng.nextRange(5, 9);
+        EXPECT_GE(r, 5u);
+        EXPECT_LE(r, 9u);
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, WeightedRespectsZeroWeights)
+{
+    Rng rng(11);
+    std::vector<double> weights = {0.0, 1.0, 0.0};
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(rng.nextWeighted(weights), 1u);
+}
+
+TEST(Rng, GeometricMeanRoughlyCorrect)
+{
+    Rng rng(3);
+    const double p = 0.25;
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(p));
+    const double mean = sum / n;
+    // Expected mean (1-p)/p = 3.
+    EXPECT_NEAR(mean, 3.0, 0.15);
+}
+
+TEST(Config, Table3Defaults)
+{
+    MachineConfig cfg = defaultConfig();
+    EXPECT_FALSE(cfg.memento.enabled);
+    EXPECT_EQ(cfg.l1d.sizeBytes, 32u << 10);
+    EXPECT_EQ(cfg.l1d.ways, 8u);
+    EXPECT_EQ(cfg.l1d.numSets(), 64u);
+    EXPECT_EQ(cfg.llc.sizeBytes, 2u << 20);
+    EXPECT_EQ(cfg.llc.ways, 16u);
+    EXPECT_EQ(cfg.l1Tlb.entries, 64u);
+    EXPECT_EQ(cfg.l2Tlb.entries, 2048u);
+    EXPECT_EQ(cfg.memento.numSizeClasses, 64u);
+    EXPECT_EQ(cfg.memento.maxSmallSize, 512u);
+    EXPECT_EQ(cfg.memento.objectsPerArena, 256u);
+    EXPECT_EQ(cfg.memento.hotLatency, 2u);
+    EXPECT_EQ(cfg.memento.aacLatency, 1u);
+
+    MachineConfig mcfg = mementoConfig();
+    EXPECT_TRUE(mcfg.memento.enabled);
+}
+
+TEST(Config, CycleTimeConversions)
+{
+    MachineConfig cfg = defaultConfig();
+    // 3 GHz: 1 ms = 3M cycles.
+    EXPECT_EQ(cfg.msToCycles(1.0), 3'000'000u);
+    EXPECT_DOUBLE_EQ(cfg.cyclesToMs(3'000'000), 1.0);
+}
+
+TEST(Config, MementoRegionLayout)
+{
+    MachineConfig cfg = defaultConfig();
+    const Addr end = cfg.layout.mementoRegionEnd(64);
+    EXPECT_EQ(end - cfg.layout.mementoRegionStart,
+              64ull * cfg.layout.perClassRegionBytes);
+}
+
+} // namespace
+} // namespace memento

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the TLB model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.h"
+
+namespace memento {
+namespace {
+
+class TlbTest : public ::testing::Test
+{
+  protected:
+    StatRegistry stats;
+    Tlb tlb{"t", TlbConfig{16, 4, 1}, stats};
+};
+
+TEST_F(TlbTest, MissThenHit)
+{
+    EXPECT_FALSE(tlb.lookup(0x5000).has_value());
+    tlb.insert(0x5000, 0x9000);
+    auto hit = tlb.lookup(0x5123);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 0x9000u);
+    EXPECT_EQ(stats.value("t.hits"), 1u);
+    EXPECT_EQ(stats.value("t.misses"), 1u);
+}
+
+TEST_F(TlbTest, UpdateInPlace)
+{
+    tlb.insert(0x5000, 0x9000);
+    tlb.insert(0x5000, 0xA000);
+    EXPECT_EQ(*tlb.lookup(0x5000), 0xA000u);
+}
+
+TEST_F(TlbTest, InvalidatePage)
+{
+    tlb.insert(0x5000, 0x9000);
+    tlb.invalidatePage(0x5FFF);
+    EXPECT_FALSE(tlb.lookup(0x5000).has_value());
+}
+
+TEST_F(TlbTest, FlushAll)
+{
+    for (Addr p = 0; p < 8; ++p)
+        tlb.insert(p << kPageShift, (p + 100) << kPageShift);
+    tlb.flushAll();
+    for (Addr p = 0; p < 8; ++p)
+        EXPECT_FALSE(tlb.lookup(p << kPageShift).has_value());
+}
+
+TEST_F(TlbTest, EvictsLruWithinSet)
+{
+    // 16 entries, 4 ways -> 4 sets; pages with the same (page % 4) map
+    // to the same set.
+    std::vector<Addr> pages;
+    for (int i = 0; i < 4; ++i)
+        pages.push_back((4ull * i) << kPageShift);
+    for (Addr p : pages)
+        tlb.insert(p, p + kPageSize);
+    tlb.lookup(pages[0]); // Refresh.
+    tlb.insert((4ull * 10) << kPageShift, 0x1000);
+    EXPECT_TRUE(tlb.lookup(pages[0]).has_value());
+    EXPECT_FALSE(tlb.lookup(pages[1]).has_value());
+}
+
+TEST_F(TlbTest, PageOffsetIgnoredOnInsert)
+{
+    tlb.insert(0x7ABC, 0x3DEF);
+    auto hit = tlb.lookup(0x7000);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 0x3000u); // Physical page base, not the raw value.
+}
+
+TEST_F(TlbTest, HugeEntryCoversWholeBlock)
+{
+    const std::uint64_t huge = 1ull << kHugePageShift;
+    tlb.insert(0x4000'0000, 0x1200'0000, kHugePageShift);
+    auto hit = tlb.translate(0x4000'0000 + huge - 5);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 0x1200'0000 + huge - 5);
+    // Outside the block: miss.
+    EXPECT_FALSE(tlb.translate(0x4000'0000 + huge).has_value());
+}
+
+TEST_F(TlbTest, MixedGranularitiesCoexist)
+{
+    tlb.insert(0x5000, 0x9000);
+    tlb.insert(0x4000'0000, 0x1200'0000, kHugePageShift);
+    EXPECT_EQ(*tlb.translate(0x5123), 0x9123u);
+    EXPECT_TRUE(tlb.translate(0x4010'0000).has_value());
+    tlb.invalidatePage(0x4000'0000);
+    EXPECT_FALSE(tlb.translate(0x4010'0000).has_value());
+    EXPECT_TRUE(tlb.translate(0x5000).has_value());
+}
+
+TEST(TlbGeometry, NonDivisibleEntriesRoundDown)
+{
+    StatRegistry stats;
+    // Table 3's 2048-entry 12-way TLB: sets round down to 170.
+    Tlb tlb("t", TlbConfig{2048, 12, 7}, stats);
+    // Capacity still works for a burst of insert/lookup pairs.
+    for (Addr p = 0; p < 100; ++p) {
+        tlb.insert(p << kPageShift, (p + 5) << kPageShift);
+        EXPECT_TRUE(tlb.lookup(p << kPageShift).has_value());
+    }
+}
+
+TEST(TlbGeometry, SweepConfigurations)
+{
+    for (unsigned entries : {8u, 64u, 256u}) {
+        for (unsigned ways : {1u, 2u, 4u}) {
+            StatRegistry stats;
+            Tlb tlb("t", TlbConfig{entries, ways, 1}, stats);
+            // Inserting up to one set of pages per set keeps them all.
+            const unsigned sets = entries / ways;
+            for (unsigned w = 0; w < ways; ++w) {
+                Addr page = static_cast<Addr>(w) * sets;
+                tlb.insert(page << kPageShift, 0x1000);
+            }
+            for (unsigned w = 0; w < ways; ++w) {
+                Addr page = static_cast<Addr>(w) * sets;
+                EXPECT_TRUE(tlb.lookup(page << kPageShift).has_value());
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace memento

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the trace format, the synthetic trace generator, and the
+ * workload registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/size_class.h"
+#include "wl/trace.h"
+#include "wl/trace_generator.h"
+#include "wl/workloads.h"
+
+namespace memento {
+namespace {
+
+TEST(TraceIo, RoundTrip)
+{
+    Trace trace = {
+        {OpKind::Compute, 100, 0, 0},
+        {OpKind::Malloc, 64, 1, 0},
+        {OpKind::Store, 0, 1, 8},
+        {OpKind::Load, 0, 1, 16},
+        {OpKind::StaticLoad, 0, 0, 4096},
+        {OpKind::StaticStore, 0, 0, 8192},
+        {OpKind::Free, 0, 1, 0},
+        {OpKind::FunctionEnd, 0, 0, 0},
+    };
+    std::stringstream ss;
+    writeTrace(trace, ss);
+    Trace parsed = readTrace(ss);
+    EXPECT_EQ(parsed, trace);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines)
+{
+    std::stringstream ss("# header\n\nC 10 0 0\n");
+    Trace parsed = readTrace(ss);
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0].kind, OpKind::Compute);
+    EXPECT_EQ(parsed[0].value, 10u);
+}
+
+TEST(TraceIo, CountOps)
+{
+    Trace trace = {{OpKind::Malloc, 8, 1, 0},
+                   {OpKind::Malloc, 8, 2, 0},
+                   {OpKind::Free, 0, 1, 0}};
+    EXPECT_EQ(countOps(trace, OpKind::Malloc), 2u);
+    EXPECT_EQ(countOps(trace, OpKind::Free), 1u);
+    EXPECT_EQ(countOps(trace, OpKind::Compute), 0u);
+}
+
+class GeneratorTest : public ::testing::Test
+{
+  protected:
+    static WorkloadSpec
+    spec()
+    {
+        WorkloadSpec s;
+        s.id = "gen-test";
+        s.numAllocs = 2000;
+        s.sizeDist = SizeDistribution({SizeBucket{1.0, 16, 256}});
+        s.largeDist = SizeDistribution({SizeBucket{1.0, 520, 4096}});
+        s.lifetime = {.pShort = 0.7, .meanShortDistance = 5.0,
+                      .pLongFreed = 0.1, .meanLongDistance = 200.0};
+        s.pLarge = 0.05;
+        s.burstEvery = 500;
+        s.burstBytes = 32 << 10;
+        s.seed = 7;
+        return s;
+    }
+};
+
+TEST_F(GeneratorTest, Deterministic)
+{
+    Trace a = TraceGenerator(spec()).generate();
+    Trace b = TraceGenerator(spec()).generate();
+    EXPECT_EQ(a, b);
+
+    WorkloadSpec other = spec();
+    other.seed = 8;
+    Trace c = TraceGenerator(other).generate();
+    EXPECT_NE(a, c);
+}
+
+TEST_F(GeneratorTest, EveryFreeMatchesEarlierMalloc)
+{
+    Trace trace = TraceGenerator(spec()).generate();
+    std::unordered_set<std::uint64_t> live;
+    for (const TraceOp &op : trace) {
+        if (op.kind == OpKind::Malloc)
+            ASSERT_TRUE(live.insert(op.objId).second);
+        else if (op.kind == OpKind::Free)
+            ASSERT_EQ(live.erase(op.objId), 1u) << "free before malloc";
+    }
+}
+
+TEST_F(GeneratorTest, NoAccessToFreedObjects)
+{
+    Trace trace = TraceGenerator(spec()).generate();
+    std::unordered_set<std::uint64_t> freed;
+    for (const TraceOp &op : trace) {
+        switch (op.kind) {
+          case OpKind::Free:
+            freed.insert(op.objId);
+            break;
+          case OpKind::Load:
+          case OpKind::Store:
+            ASSERT_EQ(freed.count(op.objId), 0u)
+                << "use after free of object " << op.objId;
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+TEST_F(GeneratorTest, AccessOffsetsWithinObjectSize)
+{
+    Trace trace = TraceGenerator(spec()).generate();
+    std::unordered_map<std::uint64_t, std::uint64_t> sizes;
+    for (const TraceOp &op : trace) {
+        if (op.kind == OpKind::Malloc)
+            sizes[op.objId] = op.value;
+        else if (op.kind == OpKind::Load || op.kind == OpKind::Store)
+            ASSERT_LT(op.offset, sizes.at(op.objId));
+    }
+}
+
+TEST_F(GeneratorTest, EndsWithFunctionEnd)
+{
+    Trace trace = TraceGenerator(spec()).generate();
+    ASSERT_FALSE(trace.empty());
+    EXPECT_EQ(trace.back().kind, OpKind::FunctionEnd);
+    EXPECT_EQ(countOps(trace, OpKind::FunctionEnd), 1u);
+}
+
+TEST_F(GeneratorTest, AllocCountMatchesSpecPlusBursts)
+{
+    Trace trace = TraceGenerator(spec()).generate();
+    const std::uint64_t mallocs = countOps(trace, OpKind::Malloc);
+    const std::uint64_t bursts = spec().numAllocs / spec().burstEvery;
+    const std::uint64_t per_burst =
+        spec().burstBytes / spec().burstObjSize;
+    EXPECT_EQ(mallocs, spec().numAllocs + bursts * per_burst);
+}
+
+TEST_F(GeneratorTest, SizesRespectDistributionBounds)
+{
+    Trace trace = TraceGenerator(spec()).generate();
+    for (const TraceOp &op : trace) {
+        if (op.kind != OpKind::Malloc)
+            continue;
+        const bool small = op.value >= 16 && op.value <= 256;
+        const bool large = op.value >= 520 && op.value <= 4096;
+        const bool burst = op.value == 512;
+        EXPECT_TRUE(small || large || burst)
+            << "unexpected size " << op.value;
+    }
+}
+
+TEST_F(GeneratorTest, GolangStyleSpecEmitsNoFrees)
+{
+    WorkloadSpec go = spec();
+    go.lifetime.pShort = 0.0;
+    go.lifetime.pLongFreed = 0.0;
+    go.pLarge = 0.0;
+    go.burstEvery = 0;
+    Trace trace = TraceGenerator(go).generate();
+    EXPECT_EQ(countOps(trace, OpKind::Free), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Workload registry
+// ---------------------------------------------------------------------
+
+TEST(WorkloadRegistry, HasAll23PaperWorkloads)
+{
+    EXPECT_EQ(allWorkloads().size(), 23u);
+    EXPECT_EQ(workloadsByDomain(Domain::Function).size(), 16u);
+    EXPECT_EQ(workloadsByDomain(Domain::DataProc).size(), 4u);
+    EXPECT_EQ(workloadsByDomain(Domain::Platform).size(), 3u);
+}
+
+TEST(WorkloadRegistry, IdsAreUniqueAndLookupWorks)
+{
+    std::unordered_set<std::string> ids;
+    for (const WorkloadSpec &w : allWorkloads()) {
+        EXPECT_TRUE(ids.insert(w.id).second) << "duplicate id " << w.id;
+        EXPECT_EQ(workloadById(w.id).id, w.id);
+    }
+}
+
+TEST(WorkloadRegistry, LanguageGroupsMatchThePaper)
+{
+    unsigned python = 0, cpp = 0, go = 0;
+    for (const WorkloadSpec &w : workloadsByDomain(Domain::Function)) {
+        python += w.lang == Language::Python;
+        cpp += w.lang == Language::Cpp;
+        go += w.lang == Language::Golang;
+    }
+    EXPECT_EQ(python, 9u); // SeBS + FunctionBench + pyperformance.
+    EXPECT_EQ(cpp, 4u);    // DeathStarBench units.
+    EXPECT_EQ(go, 3u);     // Go ports.
+
+    for (const WorkloadSpec &w : workloadsByDomain(Domain::DataProc))
+        EXPECT_EQ(w.lang, Language::Cpp);
+    for (const WorkloadSpec &w : workloadsByDomain(Domain::Platform))
+        EXPECT_EQ(w.lang, Language::Golang);
+}
+
+TEST(WorkloadRegistry, SeedsAreDistinct)
+{
+    std::unordered_set<std::uint64_t> seeds;
+    for (const WorkloadSpec &w : allWorkloads())
+        EXPECT_TRUE(seeds.insert(w.seed).second);
+}
+
+} // namespace
+} // namespace memento

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared test helpers: a recording Env stub for unit-testing software
+ * and hardware models without a full Machine, and small machine
+ * configurations that keep tests fast.
+ */
+
+#ifndef MEMENTO_TESTS_TEST_UTIL_H
+#define MEMENTO_TESTS_TEST_UTIL_H
+
+#include <vector>
+
+#include "mem/env.h"
+#include "sim/config.h"
+
+namespace memento::test {
+
+/** Env stub that records activity and charges trivial costs. */
+class TestEnv : public Env
+{
+  public:
+    void
+    chargeInstructions(InstCount n) override
+    {
+        instructions += n;
+        ledger_.charge((n + 1) / 2);
+    }
+
+    void chargeCycles(Cycles n) override { ledger_.charge(n); }
+
+    Cycles
+    accessVirtual(Addr vaddr, AccessType type) override
+    {
+        (type == AccessType::Write ? virtWrites : virtReads)
+            .push_back(vaddr);
+        ledger_.charge(2);
+        return 2;
+    }
+
+    Cycles
+    accessPhysical(Addr paddr, AccessType type, AccessAttrs) override
+    {
+        (type == AccessType::Write ? physWrites : physReads)
+            .push_back(paddr);
+        ledger_.charge(2);
+        return 2;
+    }
+
+    Cycles
+    installPhysical(Addr paddr) override
+    {
+        installs.push_back(paddr);
+        ledger_.charge(2);
+        return 2;
+    }
+
+    Cycles now() const override { return ledger_.total(); }
+    CycleLedger &ledger() override { return ledger_; }
+
+    void
+    tlbInvalidate(Addr vaddr) override
+    {
+        tlbInvalidations.push_back(vaddr);
+    }
+
+    InstCount instructions = 0;
+    std::vector<Addr> virtReads, virtWrites;
+    std::vector<Addr> physReads, physWrites;
+    std::vector<Addr> installs;
+    std::vector<Addr> tlbInvalidations;
+
+  private:
+    CycleLedger ledger_;
+};
+
+/** A small but structurally valid machine configuration. */
+inline MachineConfig
+smallConfig()
+{
+    MachineConfig cfg;
+    cfg.l1d = CacheConfig{4 << 10, 4, 2};
+    cfg.l1i = CacheConfig{4 << 10, 4, 2};
+    cfg.l2 = CacheConfig{16 << 10, 4, 14};
+    cfg.llc = CacheConfig{64 << 10, 8, 40};
+    cfg.l1Tlb = TlbConfig{16, 4, 1};
+    cfg.l2Tlb = TlbConfig{64, 4, 7};
+    cfg.dram.sizeBytes = 512ull << 20;
+    return cfg;
+}
+
+/** smallConfig() with Memento enabled. */
+inline MachineConfig
+smallMementoConfig()
+{
+    MachineConfig cfg = smallConfig();
+    cfg.memento.enabled = true;
+    return cfg;
+}
+
+} // namespace memento::test
+
+#endif // MEMENTO_TESTS_TEST_UTIL_H

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the OS virtual-memory model: mmap/munmap semantics,
+ * demand faulting, MAP_POPULATE, madvise purging, and the Fig. 11
+ * accounting counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/virtual_memory.h"
+#include "test_util.h"
+
+namespace memento {
+namespace {
+
+using test::TestEnv;
+
+class VmTest : public ::testing::Test
+{
+  protected:
+    VmTest()
+        : buddy(1ull << 22, 64ull << 20, stats),
+          vm(cfg, buddy, stats, "vm")
+    {
+    }
+
+    MachineConfig cfg;
+    StatRegistry stats;
+    BuddyAllocator buddy;
+    VirtualMemory vm;
+    TestEnv env;
+};
+
+TEST_F(VmTest, MmapReservesWithoutBacking)
+{
+    const std::uint64_t pages_before = buddy.allocatedPages();
+    Addr base = vm.mmap(64 * kPageSize, &env);
+    EXPECT_NE(base, kNullAddr);
+    EXPECT_TRUE(vm.inVma(base));
+    EXPECT_TRUE(vm.inVma(base + 64 * kPageSize - 1));
+    EXPECT_FALSE(vm.inVma(base + 64 * kPageSize));
+    // Lazy: no user frames allocated yet.
+    EXPECT_EQ(buddy.allocatedPages(), pages_before);
+    EXPECT_FALSE(vm.pageTable().isMapped(base));
+}
+
+TEST_F(VmTest, MmapChargesKernelCategory)
+{
+    vm.mmap(kPageSize, &env);
+    EXPECT_GT(env.ledger().category(CycleCategory::KernelMmap), 0u);
+}
+
+TEST_F(VmTest, FaultBacksExactlyOnePage)
+{
+    Addr base = vm.mmap(16 * kPageSize, &env);
+    EXPECT_TRUE(vm.handleFault(base + 5 * kPageSize + 123, env));
+    EXPECT_TRUE(vm.pageTable().isMapped(base + 5 * kPageSize));
+    EXPECT_FALSE(vm.pageTable().isMapped(base + 4 * kPageSize));
+    EXPECT_EQ(vm.faultCount(), 1u);
+    EXPECT_EQ(vm.residentUserPages(), 1u);
+    EXPECT_GT(env.ledger().category(CycleCategory::KernelFault), 0u);
+    // The page was zero-filled: 64 line installs.
+    EXPECT_EQ(env.installs.size(), kPageSize / kLineSize);
+}
+
+TEST_F(VmTest, FaultOutsideVmaIsSegv)
+{
+    EXPECT_FALSE(vm.handleFault(0xDEAD'0000, env));
+}
+
+TEST_F(VmTest, AlignedMmapRespectsAlignment)
+{
+    Addr base = vm.mmap(8 * kPageSize, &env, false, 1 << 16);
+    EXPECT_EQ(base % (1 << 16), 0u);
+}
+
+TEST_F(VmTest, PopulateBacksAllPages)
+{
+    Addr base = vm.mmap(8 * kPageSize, &env, /*populate=*/true);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_TRUE(vm.pageTable().isMapped(base + i * kPageSize));
+    EXPECT_EQ(vm.faultCount(), 0u);
+    EXPECT_EQ(vm.residentUserPages(), 8u);
+}
+
+TEST_F(VmTest, MunmapFreesFramesAndInvalidatesTlb)
+{
+    Addr base = vm.mmap(8 * kPageSize, &env, true);
+    const std::uint64_t resident = vm.residentUserPages();
+    vm.munmap(base, 8 * kPageSize, &env);
+    EXPECT_EQ(vm.residentUserPages(), resident - 8);
+    EXPECT_FALSE(vm.inVma(base));
+    EXPECT_EQ(env.tlbInvalidations.size(), 8u);
+}
+
+TEST_F(VmTest, PartialMunmapSplitsVma)
+{
+    Addr base = vm.mmap(8 * kPageSize, &env);
+    vm.munmap(base + 2 * kPageSize, 2 * kPageSize, &env);
+    EXPECT_TRUE(vm.inVma(base));
+    EXPECT_FALSE(vm.inVma(base + 2 * kPageSize));
+    EXPECT_TRUE(vm.inVma(base + 4 * kPageSize));
+    EXPECT_EQ(vm.vmaCount(), 2u);
+}
+
+TEST_F(VmTest, MadviseFreeKeepsVmaDropsFrames)
+{
+    Addr base = vm.mmap(4 * kPageSize, &env, true);
+    vm.madviseFree(base, 4 * kPageSize, &env);
+    EXPECT_TRUE(vm.inVma(base));
+    EXPECT_FALSE(vm.pageTable().isMapped(base));
+    EXPECT_EQ(vm.residentUserPages(), 0u);
+    // Next touch faults again.
+    EXPECT_TRUE(vm.handleFault(base, env));
+    EXPECT_EQ(vm.faultCount(), 1u);
+}
+
+TEST_F(VmTest, MadviseOfAbsentPagesIsFreeOfCharge)
+{
+    Addr base = vm.mmap(4 * kPageSize, &env);
+    const Cycles before = env.ledger().total();
+    const auto invals = env.tlbInvalidations.size();
+    vm.madviseFree(base, 4 * kPageSize, &env);
+    EXPECT_EQ(env.ledger().total(), before);
+    EXPECT_EQ(env.tlbInvalidations.size(), invals + 4);
+}
+
+TEST_F(VmTest, AggregateCountsAreCumulative)
+{
+    Addr base = vm.mmap(4 * kPageSize, &env, true);
+    vm.munmap(base, 4 * kPageSize, &env);
+    Addr base2 = vm.mmap(4 * kPageSize, &env, true);
+    (void)base2;
+    // 8 user pages were allocated in total even though only 4 are live.
+    EXPECT_EQ(vm.aggregateUserPages(), 8u);
+    EXPECT_EQ(vm.residentUserPages(), 4u);
+}
+
+TEST_F(VmTest, PeakTracksKernelAndUserPages)
+{
+    vm.mmap(16 * kPageSize, &env, true);
+    const std::uint64_t peak = vm.peakResidentPages();
+    EXPECT_GE(peak, 16u); // User pages plus page-table nodes.
+    EXPECT_GE(vm.aggregateKernelPages(), 1u);
+}
+
+TEST_F(VmTest, MapPopulateConfigForcesEagerBacking)
+{
+    MachineConfig pop_cfg;
+    pop_cfg.kernel.mapPopulate = true;
+    StatRegistry stats2;
+    BuddyAllocator buddy2(1ull << 22, 64ull << 20, stats2);
+    VirtualMemory vm2(pop_cfg, buddy2, stats2, "vm2");
+    TestEnv env2;
+    Addr base = vm2.mmap(4 * kPageSize, &env2);
+    EXPECT_TRUE(vm2.pageTable().isMapped(base));
+    EXPECT_EQ(vm2.residentUserPages(), 4u);
+}
+
+TEST_F(VmTest, ThpBacksWholeBlockWithOneFault)
+{
+    MachineConfig thp_cfg;
+    thp_cfg.kernel.transparentHugePages = true;
+    StatRegistry stats2;
+    BuddyAllocator buddy2(1ull << 22, 1ull << 30, stats2);
+    VirtualMemory vm2(thp_cfg, buddy2, stats2, "vmthp");
+    TestEnv env2;
+
+    const std::uint64_t huge = 1ull << kHugePageShift;
+    Addr base = vm2.mmap(2 * huge, &env2, false, huge);
+    EXPECT_TRUE(vm2.handleFault(base + 12345, env2));
+    EXPECT_EQ(vm2.hugeMappingCount(), 1u);
+    EXPECT_EQ(vm2.faultCount(), 1u);
+    // The whole 2 MiB block translates; the neighbour block does not.
+    ASSERT_TRUE(vm2.lookupHuge(base + huge - 1).has_value());
+    EXPECT_FALSE(vm2.lookupHuge(base + huge).has_value());
+    // Offsets are preserved.
+    EXPECT_EQ(*vm2.lookupHuge(base + 777) - *vm2.lookupHuge(base), 777u);
+    EXPECT_EQ(vm2.residentUserPages(), huge / kPageSize);
+}
+
+TEST_F(VmTest, ThpFallsBackWhenBlockDoesNotFit)
+{
+    MachineConfig thp_cfg;
+    thp_cfg.kernel.transparentHugePages = true;
+    StatRegistry stats2;
+    BuddyAllocator buddy2(1ull << 22, 1ull << 30, stats2);
+    VirtualMemory vm2(thp_cfg, buddy2, stats2, "vmthp");
+    TestEnv env2;
+
+    // A small VMA cannot host a 2 MiB mapping: 4 KiB fault instead.
+    Addr base = vm2.mmap(8 * kPageSize, &env2);
+    EXPECT_TRUE(vm2.handleFault(base, env2));
+    EXPECT_EQ(vm2.hugeMappingCount(), 0u);
+    EXPECT_TRUE(vm2.pageTable().isMapped(base));
+}
+
+TEST_F(VmTest, MunmapSplitsHugeMapping)
+{
+    MachineConfig thp_cfg;
+    thp_cfg.kernel.transparentHugePages = true;
+    StatRegistry stats2;
+    BuddyAllocator buddy2(1ull << 22, 1ull << 30, stats2);
+    VirtualMemory vm2(thp_cfg, buddy2, stats2, "vmthp");
+    TestEnv env2;
+
+    const std::uint64_t huge = 1ull << kHugePageShift;
+    Addr base = vm2.mmap(huge, &env2, false, huge);
+    vm2.handleFault(base, env2);
+    ASSERT_EQ(vm2.hugeMappingCount(), 1u);
+    const std::uint64_t frames = buddy2.allocatedPages();
+    vm2.munmap(base, huge, &env2);
+    EXPECT_EQ(vm2.hugeMappingCount(), 0u);
+    EXPECT_LT(buddy2.allocatedPages(), frames);
+}
+
+TEST_F(VmTest, StructPageTrafficOnFault)
+{
+    Addr base = vm.mmap(kPageSize, &env);
+    env.physReads.clear();
+    env.physWrites.clear();
+    vm.handleFault(base, env);
+    // At least one struct-page read and write beyond the zero-fill.
+    bool saw_struct_read = false, saw_struct_write = false;
+    for (Addr a : env.physReads)
+        saw_struct_read |= a >= VirtualMemory::kStructPageBase;
+    for (Addr a : env.physWrites)
+        saw_struct_write |= a >= VirtualMemory::kStructPageBase;
+    EXPECT_TRUE(saw_struct_read);
+    EXPECT_TRUE(saw_struct_write);
+}
+
+} // namespace
+} // namespace memento

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Property sweep over all 23 paper workloads: each generated trace
+ * must satisfy the structural invariants the paper's characterization
+ * depends on (§2.2), and each must execute to completion on both
+ * machines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "an/lifetime.h"
+#include "machine/experiment.h"
+#include "wl/trace_generator.h"
+#include "wl/workloads.h"
+
+namespace memento {
+namespace {
+
+class WorkloadPropertyTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const WorkloadSpec &spec() const { return workloadById(GetParam()); }
+};
+
+TEST_P(WorkloadPropertyTest, TraceIsWellFormed)
+{
+    const Trace trace = TraceGenerator(spec()).generate();
+    ASSERT_FALSE(trace.empty());
+    EXPECT_EQ(trace.back().kind, OpKind::FunctionEnd);
+
+    std::unordered_map<std::uint64_t, std::uint64_t> live; // id -> size
+    std::unordered_set<std::uint64_t> ever;
+    for (const TraceOp &op : trace) {
+        switch (op.kind) {
+          case OpKind::Malloc:
+            ASSERT_GE(op.value, 1u);
+            ASSERT_TRUE(ever.insert(op.objId).second);
+            live[op.objId] = op.value;
+            break;
+          case OpKind::Free:
+            ASSERT_EQ(live.erase(op.objId), 1u);
+            break;
+          case OpKind::Load:
+          case OpKind::Store: {
+            auto it = live.find(op.objId);
+            ASSERT_NE(it, live.end());
+            ASSERT_LT(op.offset, it->second);
+            break;
+          }
+          case OpKind::StaticLoad:
+          case OpKind::StaticStore:
+            ASSERT_LT(op.offset % spec().staticWsBytes,
+                      spec().staticWsBytes);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+TEST_P(WorkloadPropertyTest, SmallAllocationsDominate)
+{
+    // Fig. 2's premise: the overwhelming share of allocations is small.
+    const Trace trace = TraceGenerator(spec()).generate();
+    const TraceProfile profile = profileTrace(trace);
+    EXPECT_GT(profile.sizeHist.percent(0), 88.0)
+        << spec().id << " has too many large allocations";
+}
+
+TEST_P(WorkloadPropertyTest, LifetimeMatchesLanguageStory)
+{
+    const Trace trace = TraceGenerator(spec()).generate();
+    const TraceProfile profile = profileTrace(trace);
+    const double short_pct = profile.lifetimeHist.percent(0);
+    if (spec().domain == Domain::Function &&
+        spec().lang == Language::Golang) {
+        // Go functions: GC never runs, everything batch-freed at exit.
+        EXPECT_LT(short_pct, 5.0) << spec().id;
+    } else if (spec().lang == Language::Cpp &&
+               spec().domain != Domain::Platform) {
+        // C++ (functions and data processing): mostly short-lived.
+        EXPECT_GT(short_pct, 55.0) << spec().id;
+    } else if (spec().domain == Domain::Platform) {
+        // Platform ops: long-lived until GC.
+        EXPECT_LT(short_pct, 15.0) << spec().id;
+    } else {
+        // Python: primarily short-lived with a long tail.
+        EXPECT_GT(short_pct, 45.0) << spec().id;
+    }
+}
+
+TEST_P(WorkloadPropertyTest, DeterministicTraceGeneration)
+{
+    const Trace a = TraceGenerator(spec()).generate();
+    const Trace b = TraceGenerator(spec()).generate();
+    EXPECT_EQ(a.size(), b.size());
+    EXPECT_EQ(a, b);
+}
+
+std::vector<std::string>
+allIds()
+{
+    std::vector<std::string> ids;
+    for (const WorkloadSpec &w : allWorkloads())
+        ids.push_back(w.id);
+    return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadPropertyTest, ::testing::ValuesIn(allIds()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace memento

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * memento_sim — the command-line front end of the simulator.
+ *
+ *   memento_sim list
+ *       List the built-in workloads with their key statistics.
+ *
+ *   memento_sim run <workload> [options]
+ *       Run one workload on one machine and dump the results.
+ *
+ *   memento_sim compare <workload>|all [options]
+ *       Paired baseline vs Memento (and bypass-off) runs.
+ *
+ *   memento_sim trace <workload> <file>
+ *       Synthesize the workload's operation trace into <file>
+ *       (replayable with run --trace).
+ *
+ * Options:
+ *   --config FILE     apply `key = value` lines (see sim/config_file.h)
+ *   --set key=value   single override (repeatable, applied after file)
+ *   --memento         enable the Memento hardware (run only)
+ *   --cold            charge container set-up (cold start)
+ *   --trace FILE      replay a recorded trace instead of synthesizing
+ *   --stats           dump every raw counter after the run
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "an/lifetime.h"
+#include "an/report.h"
+#include "machine/breakdown.h"
+#include "machine/experiment.h"
+#include "machine/machine.h"
+#include "sim/config_file.h"
+#include "sim/logging.h"
+#include "wl/trace_generator.h"
+
+using namespace memento;
+
+namespace {
+
+struct CliOptions
+{
+    MachineConfig cfg = defaultConfig();
+    bool memento = false;
+    bool cold = false;
+    bool dumpStats = false;
+    std::string traceFile;
+};
+
+void
+usage()
+{
+    std::cerr
+        << "usage: memento_sim <command> [args]\n"
+           "  list                      list built-in workloads\n"
+           "  run <workload> [opts]     run one configuration\n"
+           "  compare <workload>|all    paired baseline vs Memento\n"
+           "  trace <workload> <file>   write the workload's trace\n"
+           "options: --config FILE, --set key=value, --memento, --cold,\n"
+           "         --trace FILE, --stats\n";
+}
+
+CliOptions
+parseOptions(const std::vector<std::string> &args, std::size_t from)
+{
+    CliOptions opts;
+    for (std::size_t i = from; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto next = [&]() -> const std::string & {
+            fatal_if(i + 1 >= args.size(), "missing value after ", arg);
+            return args[++i];
+        };
+        if (arg == "--config") {
+            applyConfigFile(next(), opts.cfg);
+        } else if (arg == "--set") {
+            const std::string &kv = next();
+            const std::size_t eq = kv.find('=');
+            fatal_if(eq == std::string::npos,
+                     "--set expects key=value, got ", kv);
+            applyConfigOption(kv.substr(0, eq), kv.substr(eq + 1),
+                              opts.cfg);
+        } else if (arg == "--memento") {
+            opts.memento = true;
+        } else if (arg == "--cold") {
+            opts.cold = true;
+        } else if (arg == "--stats") {
+            opts.dumpStats = true;
+        } else if (arg == "--trace") {
+            opts.traceFile = next();
+        } else {
+            fatal("unknown option ", arg);
+        }
+    }
+    if (opts.memento)
+        opts.cfg.memento.enabled = true;
+    return opts;
+}
+
+Trace
+traceFor(const WorkloadSpec &spec, const CliOptions &opts)
+{
+    if (opts.traceFile.empty())
+        return TraceGenerator(spec).generate();
+    std::ifstream in(opts.traceFile);
+    fatal_if(!in, "cannot open trace file ", opts.traceFile);
+    return readTrace(in);
+}
+
+int
+cmdList()
+{
+    TextTable t({"id", "group", "lang", "allocs", "MallocPKI",
+                 "<=512B", "short-lived", "description"});
+    for (const WorkloadSpec &spec : allWorkloads()) {
+        const Trace trace = TraceGenerator(spec).generate();
+        const TraceProfile profile = profileTrace(trace);
+        t.newRow();
+        t.cell(spec.id);
+        t.cell(domainName(spec.domain));
+        t.cell(languageName(spec.lang));
+        t.cell(profile.allocations);
+        t.cell(profile.mallocPki, 2);
+        t.cell(percentStr(profile.sizeHist.percent(0) / 100.0));
+        t.cell(percentStr(profile.lifetimeHist.percent(0) / 100.0));
+        t.cell(spec.description);
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+void
+printRun(const MachineConfig &cfg, const RunResult &res)
+{
+    TextTable t({"Metric", "Value"});
+    t.newRow(); t.cell("cycles"); t.cell(res.cycles);
+    t.newRow(); t.cell("execution ms"); t.cell(res.executionMs(cfg), 3);
+    t.newRow(); t.cell("instructions"); t.cell(res.instructions);
+    t.newRow(); t.cell("DRAM bytes"); t.cell(res.dramBytes);
+    t.newRow(); t.cell("page faults"); t.cell(res.pageFaults);
+    t.newRow(); t.cell("mmap calls"); t.cell(res.mmapCalls);
+    t.newRow(); t.cell("peak pages"); t.cell(res.peakResidentPages);
+    t.newRow(); t.cell("user MM cycles"); t.cell(res.userMmCycles());
+    t.newRow(); t.cell("kernel MM cycles"); t.cell(res.kernelMmCycles());
+    t.newRow(); t.cell("hw MM cycles"); t.cell(res.hwMmCycles());
+    if (res.objAllocs > 0) {
+        t.newRow(); t.cell("small allocs"); t.cell(res.objAllocs);
+        t.newRow(); t.cell("small frees"); t.cell(res.objFrees);
+    }
+    if (res.hotAllocHits + res.hotAllocMisses > 0) {
+        t.newRow();
+        t.cell("HOT alloc hit rate");
+        t.cell(percentStr(static_cast<double>(res.hotAllocHits) /
+                          (res.hotAllocHits + res.hotAllocMisses)));
+        t.newRow();
+        t.cell("bypassed lines");
+        t.cell(res.bypassedLines);
+    }
+    t.print(std::cout);
+}
+
+int
+cmdRun(const std::string &id, const CliOptions &opts)
+{
+    const WorkloadSpec &spec = workloadById(id);
+    const Trace trace = traceFor(spec, opts);
+    RunOptions run_opts;
+    run_opts.coldStart = opts.cold;
+
+    if (opts.dumpStats) {
+        // Re-run with a live machine so raw counters can be dumped.
+        Machine machine(opts.cfg);
+        machine.createProcess(spec);
+        FunctionExecutor executor(machine);
+        executor.run(spec, trace, run_opts);
+        machine.stats().dump(std::cout);
+        return 0;
+    }
+
+    RunResult res = Experiment::runOne(spec, trace, opts.cfg, run_opts);
+    std::cout << "workload " << spec.id << " ("
+              << (opts.cfg.memento.enabled ? "memento" : "baseline")
+              << ")\n";
+    printRun(opts.cfg, res);
+    return 0;
+}
+
+int
+cmdCompare(const std::string &id, const CliOptions &opts)
+{
+    std::vector<WorkloadSpec> specs;
+    if (id == "all")
+        specs = allWorkloads();
+    else
+        specs.push_back(workloadById(id));
+
+    MachineConfig base_cfg = opts.cfg;
+    base_cfg.memento.enabled = false;
+    MachineConfig memento_cfg = opts.cfg;
+    memento_cfg.memento.enabled = true;
+
+    RunOptions run_opts;
+    run_opts.coldStart = opts.cold;
+
+    TextTable t({"workload", "speedup", "traffic", "faults base->mem",
+                 "alloc/free/page/bypass"});
+    for (const WorkloadSpec &spec : specs) {
+        std::cerr << "  running " << spec.id << "...\n";
+        Comparison cmp =
+            Experiment::compare(spec, base_cfg, memento_cfg, run_opts);
+        Breakdown bd = computeBreakdown(cmp);
+        t.newRow();
+        t.cell(spec.id);
+        t.cell(cmp.speedup(), 3);
+        t.cell(percentStr(cmp.bandwidthReduction()));
+        t.cell(std::to_string(cmp.base.pageFaults) + "->" +
+               std::to_string(cmp.memento.pageFaults));
+        t.cell(percentStr(bd.objAlloc, 0) + "/" +
+               percentStr(bd.objFree, 0) + "/" +
+               percentStr(bd.pageMgmt, 0) + "/" +
+               percentStr(bd.bypass, 0));
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdTrace(const std::string &id, const std::string &path)
+{
+    const WorkloadSpec &spec = workloadById(id);
+    const Trace trace = TraceGenerator(spec).generate();
+    std::ofstream out(path);
+    fatal_if(!out, "cannot open ", path, " for writing");
+    writeTrace(trace, out);
+    std::cout << "wrote " << trace.size() << " ops to " << path << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        usage();
+        return 1;
+    }
+    const std::string &cmd = args[0];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run" && args.size() >= 2)
+        return cmdRun(args[1], parseOptions(args, 2));
+    if (cmd == "compare" && args.size() >= 2)
+        return cmdCompare(args[1], parseOptions(args, 2));
+    if (cmd == "trace" && args.size() >= 3)
+        return cmdTrace(args[1], args[2]);
+    usage();
+    return 1;
+}
