@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comp_mallacc.dir/comp_mallacc.cc.o"
+  "CMakeFiles/comp_mallacc.dir/comp_mallacc.cc.o.d"
+  "comp_mallacc"
+  "comp_mallacc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comp_mallacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for comp_mallacc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_alloc_size.dir/fig02_alloc_size.cc.o"
+  "CMakeFiles/fig02_alloc_size.dir/fig02_alloc_size.cc.o.d"
+  "fig02_alloc_size"
+  "fig02_alloc_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_alloc_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

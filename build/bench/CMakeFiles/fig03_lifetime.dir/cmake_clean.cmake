@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_lifetime.dir/fig03_lifetime.cc.o"
+  "CMakeFiles/fig03_lifetime.dir/fig03_lifetime.cc.o.d"
+  "fig03_lifetime"
+  "fig03_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_memusage.dir/fig11_memusage.cc.o"
+  "CMakeFiles/fig11_memusage.dir/fig11_memusage.cc.o.d"
+  "fig11_memusage"
+  "fig11_memusage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_memusage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

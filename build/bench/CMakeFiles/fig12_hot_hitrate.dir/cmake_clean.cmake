@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hot_hitrate.dir/fig12_hot_hitrate.cc.o"
+  "CMakeFiles/fig12_hot_hitrate.dir/fig12_hot_hitrate.cc.o.d"
+  "fig12_hot_hitrate"
+  "fig12_hot_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hot_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_arena_list_ops.dir/fig13_arena_list_ops.cc.o"
+  "CMakeFiles/fig13_arena_list_ops.dir/fig13_arena_list_ops.cc.o.d"
+  "fig13_arena_list_ops"
+  "fig13_arena_list_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_arena_list_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_arena_list_ops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_pricing.dir/fig14_pricing.cc.o"
+  "CMakeFiles/fig14_pricing.dir/fig14_pricing.cc.o.d"
+  "fig14_pricing"
+  "fig14_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_coldstart.dir/sens_coldstart.cc.o"
+  "CMakeFiles/sens_coldstart.dir/sens_coldstart.cc.o.d"
+  "sens_coldstart"
+  "sens_coldstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_coldstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

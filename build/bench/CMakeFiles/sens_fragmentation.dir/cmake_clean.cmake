@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_fragmentation.dir/sens_fragmentation.cc.o"
+  "CMakeFiles/sens_fragmentation.dir/sens_fragmentation.cc.o.d"
+  "sens_fragmentation"
+  "sens_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

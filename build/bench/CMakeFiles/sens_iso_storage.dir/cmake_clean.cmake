@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_iso_storage.dir/sens_iso_storage.cc.o"
+  "CMakeFiles/sens_iso_storage.dir/sens_iso_storage.cc.o.d"
+  "sens_iso_storage"
+  "sens_iso_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_iso_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

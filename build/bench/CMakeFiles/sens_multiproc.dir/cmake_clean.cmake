@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_multiproc.dir/sens_multiproc.cc.o"
+  "CMakeFiles/sens_multiproc.dir/sens_multiproc.cc.o.d"
+  "sens_multiproc"
+  "sens_multiproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_multiproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_populate.dir/sens_populate.cc.o"
+  "CMakeFiles/sens_populate.dir/sens_populate.cc.o.d"
+  "sens_populate"
+  "sens_populate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_populate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

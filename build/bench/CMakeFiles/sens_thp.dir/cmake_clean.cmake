@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_thp.dir/sens_thp.cc.o"
+  "CMakeFiles/sens_thp.dir/sens_thp.cc.o.d"
+  "sens_thp"
+  "sens_thp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_thp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_tuning.dir/sens_tuning.cc.o"
+  "CMakeFiles/sens_tuning.dir/sens_tuning.cc.o.d"
+  "sens_tuning"
+  "sens_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

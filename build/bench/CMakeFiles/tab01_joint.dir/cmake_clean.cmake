@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_joint.dir/tab01_joint.cc.o"
+  "CMakeFiles/tab01_joint.dir/tab01_joint.cc.o.d"
+  "tab01_joint"
+  "tab01_joint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_joint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

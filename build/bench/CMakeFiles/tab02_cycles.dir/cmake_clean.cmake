@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_cycles.dir/tab02_cycles.cc.o"
+  "CMakeFiles/tab02_cycles.dir/tab02_cycles.cc.o.d"
+  "tab02_cycles"
+  "tab02_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

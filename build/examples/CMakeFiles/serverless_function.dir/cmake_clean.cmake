@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_function.dir/serverless_function.cc.o"
+  "CMakeFiles/serverless_function.dir/serverless_function.cc.o.d"
+  "serverless_function"
+  "serverless_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/an/cacti_lite.cc" "src/CMakeFiles/memento.dir/an/cacti_lite.cc.o" "gcc" "src/CMakeFiles/memento.dir/an/cacti_lite.cc.o.d"
+  "/root/repo/src/an/histogram.cc" "src/CMakeFiles/memento.dir/an/histogram.cc.o" "gcc" "src/CMakeFiles/memento.dir/an/histogram.cc.o.d"
+  "/root/repo/src/an/lifetime.cc" "src/CMakeFiles/memento.dir/an/lifetime.cc.o" "gcc" "src/CMakeFiles/memento.dir/an/lifetime.cc.o.d"
+  "/root/repo/src/an/pricing.cc" "src/CMakeFiles/memento.dir/an/pricing.cc.o" "gcc" "src/CMakeFiles/memento.dir/an/pricing.cc.o.d"
+  "/root/repo/src/an/report.cc" "src/CMakeFiles/memento.dir/an/report.cc.o" "gcc" "src/CMakeFiles/memento.dir/an/report.cc.o.d"
+  "/root/repo/src/hw/arena.cc" "src/CMakeFiles/memento.dir/hw/arena.cc.o" "gcc" "src/CMakeFiles/memento.dir/hw/arena.cc.o.d"
+  "/root/repo/src/hw/bypass.cc" "src/CMakeFiles/memento.dir/hw/bypass.cc.o" "gcc" "src/CMakeFiles/memento.dir/hw/bypass.cc.o.d"
+  "/root/repo/src/hw/hot.cc" "src/CMakeFiles/memento.dir/hw/hot.cc.o" "gcc" "src/CMakeFiles/memento.dir/hw/hot.cc.o.d"
+  "/root/repo/src/hw/hw_object_allocator.cc" "src/CMakeFiles/memento.dir/hw/hw_object_allocator.cc.o" "gcc" "src/CMakeFiles/memento.dir/hw/hw_object_allocator.cc.o.d"
+  "/root/repo/src/hw/hw_page_allocator.cc" "src/CMakeFiles/memento.dir/hw/hw_page_allocator.cc.o" "gcc" "src/CMakeFiles/memento.dir/hw/hw_page_allocator.cc.o.d"
+  "/root/repo/src/hw/mallacc.cc" "src/CMakeFiles/memento.dir/hw/mallacc.cc.o" "gcc" "src/CMakeFiles/memento.dir/hw/mallacc.cc.o.d"
+  "/root/repo/src/hw/memento_allocator.cc" "src/CMakeFiles/memento.dir/hw/memento_allocator.cc.o" "gcc" "src/CMakeFiles/memento.dir/hw/memento_allocator.cc.o.d"
+  "/root/repo/src/machine/breakdown.cc" "src/CMakeFiles/memento.dir/machine/breakdown.cc.o" "gcc" "src/CMakeFiles/memento.dir/machine/breakdown.cc.o.d"
+  "/root/repo/src/machine/experiment.cc" "src/CMakeFiles/memento.dir/machine/experiment.cc.o" "gcc" "src/CMakeFiles/memento.dir/machine/experiment.cc.o.d"
+  "/root/repo/src/machine/function_executor.cc" "src/CMakeFiles/memento.dir/machine/function_executor.cc.o" "gcc" "src/CMakeFiles/memento.dir/machine/function_executor.cc.o.d"
+  "/root/repo/src/machine/machine.cc" "src/CMakeFiles/memento.dir/machine/machine.cc.o" "gcc" "src/CMakeFiles/memento.dir/machine/machine.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/memento.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/memento.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/cache_hierarchy.cc" "src/CMakeFiles/memento.dir/mem/cache_hierarchy.cc.o" "gcc" "src/CMakeFiles/memento.dir/mem/cache_hierarchy.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/memento.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/memento.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/memory_controller.cc" "src/CMakeFiles/memento.dir/mem/memory_controller.cc.o" "gcc" "src/CMakeFiles/memento.dir/mem/memory_controller.cc.o.d"
+  "/root/repo/src/mem/page_walker.cc" "src/CMakeFiles/memento.dir/mem/page_walker.cc.o" "gcc" "src/CMakeFiles/memento.dir/mem/page_walker.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/memento.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/memento.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/os/buddy_allocator.cc" "src/CMakeFiles/memento.dir/os/buddy_allocator.cc.o" "gcc" "src/CMakeFiles/memento.dir/os/buddy_allocator.cc.o.d"
+  "/root/repo/src/os/kernel_cost.cc" "src/CMakeFiles/memento.dir/os/kernel_cost.cc.o" "gcc" "src/CMakeFiles/memento.dir/os/kernel_cost.cc.o.d"
+  "/root/repo/src/os/page_table.cc" "src/CMakeFiles/memento.dir/os/page_table.cc.o" "gcc" "src/CMakeFiles/memento.dir/os/page_table.cc.o.d"
+  "/root/repo/src/os/process.cc" "src/CMakeFiles/memento.dir/os/process.cc.o" "gcc" "src/CMakeFiles/memento.dir/os/process.cc.o.d"
+  "/root/repo/src/os/virtual_memory.cc" "src/CMakeFiles/memento.dir/os/virtual_memory.cc.o" "gcc" "src/CMakeFiles/memento.dir/os/virtual_memory.cc.o.d"
+  "/root/repo/src/rt/allocator.cc" "src/CMakeFiles/memento.dir/rt/allocator.cc.o" "gcc" "src/CMakeFiles/memento.dir/rt/allocator.cc.o.d"
+  "/root/repo/src/rt/glibc_large.cc" "src/CMakeFiles/memento.dir/rt/glibc_large.cc.o" "gcc" "src/CMakeFiles/memento.dir/rt/glibc_large.cc.o.d"
+  "/root/repo/src/rt/gomalloc.cc" "src/CMakeFiles/memento.dir/rt/gomalloc.cc.o" "gcc" "src/CMakeFiles/memento.dir/rt/gomalloc.cc.o.d"
+  "/root/repo/src/rt/jemalloc.cc" "src/CMakeFiles/memento.dir/rt/jemalloc.cc.o" "gcc" "src/CMakeFiles/memento.dir/rt/jemalloc.cc.o.d"
+  "/root/repo/src/rt/pymalloc.cc" "src/CMakeFiles/memento.dir/rt/pymalloc.cc.o" "gcc" "src/CMakeFiles/memento.dir/rt/pymalloc.cc.o.d"
+  "/root/repo/src/rt/tcmalloc.cc" "src/CMakeFiles/memento.dir/rt/tcmalloc.cc.o" "gcc" "src/CMakeFiles/memento.dir/rt/tcmalloc.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/memento.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/memento.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/config_file.cc" "src/CMakeFiles/memento.dir/sim/config_file.cc.o" "gcc" "src/CMakeFiles/memento.dir/sim/config_file.cc.o.d"
+  "/root/repo/src/sim/cycles.cc" "src/CMakeFiles/memento.dir/sim/cycles.cc.o" "gcc" "src/CMakeFiles/memento.dir/sim/cycles.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/memento.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/memento.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/memento.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/memento.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/memento.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/memento.dir/sim/stats.cc.o.d"
+  "/root/repo/src/wl/distributions.cc" "src/CMakeFiles/memento.dir/wl/distributions.cc.o" "gcc" "src/CMakeFiles/memento.dir/wl/distributions.cc.o.d"
+  "/root/repo/src/wl/trace.cc" "src/CMakeFiles/memento.dir/wl/trace.cc.o" "gcc" "src/CMakeFiles/memento.dir/wl/trace.cc.o.d"
+  "/root/repo/src/wl/trace_generator.cc" "src/CMakeFiles/memento.dir/wl/trace_generator.cc.o" "gcc" "src/CMakeFiles/memento.dir/wl/trace_generator.cc.o.d"
+  "/root/repo/src/wl/workloads.cc" "src/CMakeFiles/memento.dir/wl/workloads.cc.o" "gcc" "src/CMakeFiles/memento.dir/wl/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

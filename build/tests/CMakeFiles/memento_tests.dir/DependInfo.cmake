@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocators.cc" "tests/CMakeFiles/memento_tests.dir/test_allocators.cc.o" "gcc" "tests/CMakeFiles/memento_tests.dir/test_allocators.cc.o.d"
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/memento_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/memento_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_buddy.cc" "tests/CMakeFiles/memento_tests.dir/test_buddy.cc.o" "gcc" "tests/CMakeFiles/memento_tests.dir/test_buddy.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/memento_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/memento_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_config_file.cc" "tests/CMakeFiles/memento_tests.dir/test_config_file.cc.o" "gcc" "tests/CMakeFiles/memento_tests.dir/test_config_file.cc.o.d"
+  "/root/repo/tests/test_edge_cases.cc" "tests/CMakeFiles/memento_tests.dir/test_edge_cases.cc.o" "gcc" "tests/CMakeFiles/memento_tests.dir/test_edge_cases.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/memento_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/memento_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_hw.cc" "tests/CMakeFiles/memento_tests.dir/test_hw.cc.o" "gcc" "tests/CMakeFiles/memento_tests.dir/test_hw.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/memento_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/memento_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/memento_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/memento_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/memento_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/memento_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/memento_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/memento_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/memento_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/memento_tests.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/memento_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/memento_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_vm.cc" "tests/CMakeFiles/memento_tests.dir/test_vm.cc.o" "gcc" "tests/CMakeFiles/memento_tests.dir/test_vm.cc.o.d"
+  "/root/repo/tests/test_workload_properties.cc" "tests/CMakeFiles/memento_tests.dir/test_workload_properties.cc.o" "gcc" "tests/CMakeFiles/memento_tests.dir/test_workload_properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/memento.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

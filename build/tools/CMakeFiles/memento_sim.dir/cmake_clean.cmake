@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memento_sim.dir/memento_sim.cc.o"
+  "CMakeFiles/memento_sim.dir/memento_sim.cc.o.d"
+  "memento_sim"
+  "memento_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memento_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
