@@ -1,12 +1,15 @@
 #include "hw/hw_page_allocator.h"
 
+#include "sim/error.h"
 #include "sim/logging.h"
 
 namespace memento {
 
-HwPageAllocator::Pool::Pool(const MementoConfig &cfg, BuddyAllocator &buddy,
+HwPageAllocator::Pool::Pool(const MementoConfig &cfg,
+                            const FaultPlan &inject, BuddyAllocator &buddy,
                             StatRegistry &stats)
     : cfg_(cfg),
+      inject_(inject),
       buddy_(buddy),
       refills_(stats.counter("hwpage.pool_refills")),
       framesHandedOut_(stats.counter("hwpage.pool_frames_out")),
@@ -20,8 +23,15 @@ HwPageAllocator::Pool::refill()
     ++pendingRefills_;
     ++refills_;
     for (unsigned i = 0; i < cfg_.pagePoolRefill; ++i) {
+        sim_error_if(inject_.poolExhaustAtPage != 0 &&
+                         osPages_.value() >= inject_.poolExhaustAtPage,
+                     ErrorCategory::OutOfMemory,
+                     "hw page pool exhausted (injected at page ",
+                     inject_.poolExhaustAtPage, ")");
         Addr frame = buddy_.allocatePage();
-        fatal_if(frame == kNullAddr, "out of physical memory (pool)");
+        sim_error_if(frame == kNullAddr, ErrorCategory::OutOfMemory,
+                     "out of physical memory (hw page pool refill after ",
+                     osPages_.value(), " pages)");
         frames_.push_back(frame);
         ++osPages_;
     }
@@ -71,7 +81,7 @@ HwPageAllocator::HwPageAllocator(const MachineConfig &cfg,
                                  BuddyAllocator &buddy, StatRegistry &stats)
     : cfg_(cfg),
       geometry_(geometry),
-      pool_(cfg.memento, buddy, stats),
+      pool_(cfg.memento, cfg.inject, buddy, stats),
       aacValid_(cfg.memento.numSizeClasses, false),
       arenaGrants_(stats.counter("hwpage.arena_grants")),
       walkPopulates_(stats.counter("hwpage.walk_populates")),
@@ -123,9 +133,11 @@ HwPageAllocator::requestArena(MementoSpace &space, unsigned cls, Env &env)
 
     ArenaGrant grant;
     grant.va = space.bump[cls];
+    sim_error_if(grant.va + geometry_.arenaSpan(cls) >
+                     geometry_.classBase(cls + 1),
+                 ErrorCategory::OutOfMemory,
+                 "memento: size-class ", cls, " region exhausted");
     space.bump[cls] += geometry_.arenaSpan(cls);
-    fatal_if(space.bump[cls] > geometry_.classBase(cls + 1),
-             "memento: size-class region exhausted");
 
     // Eagerly back the first (header) page.
     const std::uint64_t nodes_before = space.mpt.nodePages();

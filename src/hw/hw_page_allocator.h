@@ -76,8 +76,8 @@ class HwPageAllocator
     class Pool : public FrameSource
     {
       public:
-        Pool(const MementoConfig &cfg, BuddyAllocator &buddy,
-             StatRegistry &stats);
+        Pool(const MementoConfig &cfg, const FaultPlan &inject,
+             BuddyAllocator &buddy, StatRegistry &stats);
 
         Addr allocFrame() override;
         void freeFrame(Addr paddr) override;
@@ -94,6 +94,7 @@ class HwPageAllocator
         void releaseSurplus();
 
         const MementoConfig &cfg_;
+        const FaultPlan &inject_;
         BuddyAllocator &buddy_;
         std::vector<Addr> frames_;
         unsigned pendingRefills_ = 0;

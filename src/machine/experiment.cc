@@ -1,6 +1,9 @@
 #include "machine/experiment.h"
 
+#include <memory>
+
 #include "sim/logging.h"
+#include "val/digest.h"
 #include "wl/trace_generator.h"
 
 namespace memento {
@@ -51,34 +54,65 @@ RunResult
 Experiment::runOne(const WorkloadSpec &spec, const Trace &trace,
                    const MachineConfig &cfg, RunOptions opts)
 {
-    Machine machine(cfg);
-    machine.createProcess(spec);
+    RunResult res = tryRunOne(spec, trace, cfg, opts);
+    if (res.error) {
+        SimError err(res.error->category, res.error->message);
+        err.tagOpIndex(res.error->opIndex);
+        throw err;
+    }
+    return res;
+}
+
+RunResult
+Experiment::tryRunOne(const WorkloadSpec &spec, const Trace &trace,
+                      const MachineConfig &cfg_in, RunOptions opts)
+{
+    RunResult res;
+    res.workload = spec.id;
+
+    // A fault plan aimed at another workload must not fire here: the
+    // OS/pool hooks it arms cannot see workload identity themselves.
+    MachineConfig cfg = cfg_in;
+    if (!cfg.inject.appliesTo(spec.id))
+        cfg.inject = FaultPlan{};
+
+    std::unique_ptr<Machine> machine;
+    try {
+        machine = std::make_unique<Machine>(cfg);
+        machine->createProcess(spec);
+    } catch (const SimError &e) {
+        res.error = RunError{e.category(), e.what(), e.opIndex()};
+        return res;
+    }
 
     // Snapshot after set-up: the measurement window covers only the
     // function execution itself (warm-start semantics).
-    const auto stats_before = machine.stats().snapshot();
-    const CycleLedger ledger_before = machine.cycleLedger();
-    const std::uint64_t instr_before = machine.instructions();
+    const auto stats_before = machine->stats().snapshot();
+    const CycleLedger ledger_before = machine->cycleLedger();
+    const std::uint64_t instr_before = machine->instructions();
 
-    FunctionExecutor executor(machine);
-    executor.run(spec, trace, opts);
+    FunctionExecutor executor(*machine);
+    try {
+        executor.run(spec, trace, opts);
+    } catch (const SimError &e) {
+        // Keep the machine: the partial metrics below localise the
+        // failure, and the sweep carries on with the next workload.
+        res.error = RunError{e.category(), e.what(), e.opIndex()};
+    }
 
     auto delta = [&](const std::string &name) {
         auto it = stats_before.find(name);
         const std::uint64_t before =
             it == stats_before.end() ? 0 : it->second;
-        return machine.stats().value(name) - before;
+        return machine->stats().value(name) - before;
     };
-
-    RunResult res;
-    res.workload = spec.id;
-    res.cycles = machine.cycleLedger().total() - ledger_before.total();
+    res.cycles = machine->cycleLedger().total() - ledger_before.total();
     for (std::size_t i = 0; i < kNumCycleCategories; ++i) {
         const auto cat = static_cast<CycleCategory>(i);
-        res.byCategory[i] = machine.cycleLedger().category(cat) -
+        res.byCategory[i] = machine->cycleLedger().category(cat) -
                             ledger_before.category(cat);
     }
-    res.instructions = machine.instructions() - instr_before;
+    res.instructions = machine->instructions() - instr_before;
 
     res.dramBytes = delta("dram.bytes");
     res.dramReads = delta("dram.reads");
@@ -90,18 +124,18 @@ Experiment::runOne(const WorkloadSpec &spec, const Trace &trace,
     // pre-mapped pools — that is exactly where jemalloc's waste shows
     // up). Memento's hardware pool recycles pages internally, so only
     // OS grants to the pool count.
-    const std::string vm = "vm" + std::to_string(machine.process().pid());
-    res.aggUserPages = machine.stats().value(vm + ".agg_user_pages") +
-                       machine.stats().value("hwpage.agg_os_pages");
+    const std::string vm = "vm" + std::to_string(machine->process().pid());
+    res.aggUserPages = machine->stats().value(vm + ".agg_user_pages") +
+                       machine->stats().value("hwpage.agg_os_pages");
     res.aggKernelPages =
-        machine.stats().value(vm + ".agg_kernel_pages") +
-        machine.stats().value(vm + ".agg_vma_bytes") / kPageSize;
+        machine->stats().value(vm + ".agg_kernel_pages") +
+        machine->stats().value(vm + ".agg_vma_bytes") / kPageSize;
     // Peak consumed memory: machine-wide physical high-water mark,
     // less the hardware pool's idle slack (reclaimable by the OS).
-    std::uint64_t peak = machine.stats().value("buddy.peak_pages");
-    if (machine.hwPageAllocator()) {
+    std::uint64_t peak = machine->stats().value("buddy.peak_pages");
+    if (machine->hwPageAllocator()) {
         const std::uint64_t slack =
-            machine.hwPageAllocator()->poolFreePages();
+            machine->hwPageAllocator()->poolFreePages();
         peak = peak > slack ? peak - slack : 0;
     }
     res.peakResidentPages = peak;
@@ -128,6 +162,9 @@ Experiment::runOne(const WorkloadSpec &spec, const Trace &trace,
                        delta("jemalloc.small_frees") +
                        delta("gomalloc.deaths");
     }
+
+    if (opts.computeDigest)
+        res.digest = digestMachine(*machine);
     return res;
 }
 

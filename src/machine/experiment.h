@@ -10,14 +10,27 @@
 #define MEMENTO_MACHINE_EXPERIMENT_H
 
 #include <array>
+#include <optional>
 #include <string>
 
 #include "machine/function_executor.h"
 #include "sim/config.h"
+#include "sim/error.h"
 #include "wl/trace.h"
 #include "wl/workloads.h"
 
 namespace memento {
+
+/** Structured description of a failed run. */
+struct RunError
+{
+    ErrorCategory category = ErrorCategory::Internal;
+    std::string message;
+    /** Trace op the failure surfaced at (kNoOpIndex when outside ops). */
+    std::uint64_t opIndex = SimError::kNoOpIndex;
+
+    bool hasOpIndex() const { return opIndex != SimError::kNoOpIndex; }
+};
 
 /** Metrics of one run (deltas over the measurement window). */
 struct RunResult
@@ -50,6 +63,16 @@ struct RunResult
     std::uint64_t objAllocs = 0; ///< Small allocations performed.
     std::uint64_t objFrees = 0;  ///< Small frees performed.
     double fragInactiveFraction = 0.0;
+
+    /**
+     * Set when the run failed: metrics above cover the partial window
+     * up to the failure (useful for localising the fault).
+     */
+    std::optional<RunError> error;
+    /** Machine-state digest (RunOptions::computeDigest; 0 otherwise). */
+    std::uint64_t digest = 0;
+
+    bool failed() const { return error.has_value(); }
 
     Cycles
     category(CycleCategory cat) const
@@ -88,9 +111,26 @@ struct Comparison
 class Experiment
 {
   public:
-    /** Execute @p trace for @p spec on a fresh machine under @p cfg. */
+    /**
+     * Execute @p trace for @p spec on a fresh machine under @p cfg.
+     * Throws SimError when the run fails (callers that need to survive
+     * failures use tryRunOne).
+     */
     static RunResult runOne(const WorkloadSpec &spec, const Trace &trace,
                             const MachineConfig &cfg, RunOptions opts = {});
+
+    /**
+     * Like runOne, but a failing run is captured instead of thrown:
+     * the result's error field holds the category, message, and op
+     * index, and the metric fields cover the partial window executed
+     * before the failure. Only SimError (recoverable, per-run) is
+     * caught — panics still abort, by design. When @p cfg's fault plan
+     * names a different workload, the plan is stripped for this run.
+     */
+    static RunResult tryRunOne(const WorkloadSpec &spec,
+                               const Trace &trace,
+                               const MachineConfig &cfg,
+                               RunOptions opts = {});
 
     /** Baseline + Memento + Memento-no-bypass over one shared trace. */
     static Comparison compare(const WorkloadSpec &spec,

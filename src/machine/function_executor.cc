@@ -1,6 +1,10 @@
 #include "machine/function_executor.h"
 
+#include <string>
+
+#include "sim/error.h"
 #include "sim/logging.h"
+#include "val/invariants.h"
 
 namespace memento {
 
@@ -38,7 +42,8 @@ FunctionExecutor::execute(const WorkloadSpec &spec, const TraceOp &op)
         auto [it, inserted] =
             objects_.emplace(op.objId, ObjectInfo{addr, op.value});
         (void)it;
-        panic_if(!inserted, "trace: duplicate object id ", op.objId);
+        sim_error_if(!inserted, ErrorCategory::Trace,
+                     "trace: duplicate object id ", op.objId);
         if (++opsSinceFragSample_ >= 4096) {
             opsSinceFragSample_ = 0;
             const std::uint64_t live = alloc.liveBytes();
@@ -51,8 +56,8 @@ FunctionExecutor::execute(const WorkloadSpec &spec, const TraceOp &op)
       }
       case OpKind::Free: {
         auto it = objects_.find(op.objId);
-        panic_if(it == objects_.end(), "trace: free of unknown object ",
-                 op.objId);
+        sim_error_if(it == objects_.end(), ErrorCategory::Trace,
+                     "trace: free of unknown object ", op.objId);
         alloc.free(it->second.addr, machine_);
         objects_.erase(it);
         break;
@@ -60,10 +65,10 @@ FunctionExecutor::execute(const WorkloadSpec &spec, const TraceOp &op)
       case OpKind::Load:
       case OpKind::Store: {
         auto it = objects_.find(op.objId);
-        panic_if(it == objects_.end(),
-                 "trace: access to unknown object ", op.objId);
-        panic_if(op.offset >= it->second.size,
-                 "trace: access past object end");
+        sim_error_if(it == objects_.end(), ErrorCategory::Trace,
+                     "trace: access to unknown object ", op.objId);
+        sim_error_if(op.offset >= it->second.size, ErrorCategory::Trace,
+                     "trace: access past object end");
         machine_.appAccess(it->second.addr + op.offset,
                            op.kind == OpKind::Store ? AccessType::Write
                                                     : AccessType::Read);
@@ -81,16 +86,77 @@ FunctionExecutor::execute(const WorkloadSpec &spec, const TraceOp &op)
 }
 
 void
+FunctionExecutor::flipArenaBit()
+{
+    MementoSpace *space = machine_.mementoSpace();
+    if (!space || space->arenas.empty())
+        return;
+    // Deterministic victim: the lowest-addressed live arena. Flipping
+    // slot 0 desynchronises the bitmap from the allocated count either
+    // way the bit goes, so the invariant checker always sees it.
+    auto victim = space->arenas.begin();
+    for (auto it = space->arenas.begin(); it != space->arenas.end(); ++it) {
+        if (it->first < victim->first)
+            victim = it;
+    }
+    victim->second.bitmap.flip(0);
+}
+
+void
 FunctionExecutor::run(const WorkloadSpec &spec, const Trace &trace,
                       RunOptions opts)
 {
+    const MachineConfig &cfg = machine_.config();
+    const CheckConfig &check = cfg.check;
+    const bool faulted = cfg.inject.appliesTo(spec.id);
+
     if (opts.coldStart)
         machine_.kernelCosts().chargeContainerSetup(machine_);
     if (opts.chargeRpc)
         chargeRpc(spec); // Fetch inputs.
 
-    for (const TraceOp &op : trace)
-        execute(spec, op);
+    // A truncated trace stops before its FunctionEnd record.
+    std::size_t limit = trace.size();
+    bool truncated = false;
+    if (faulted && cfg.inject.traceTruncateAt != 0 &&
+        cfg.inject.traceTruncateAt < trace.size()) {
+        limit = cfg.inject.traceTruncateAt;
+        truncated = true;
+    }
+
+    for (std::size_t i = 0; i < limit; ++i) {
+        TraceOp op = trace[i];
+        if (faulted && cfg.inject.traceCorruptAt == i + 1) {
+            // A corrupt record frees an object that never existed.
+            op.kind = OpKind::Free;
+            op.objId |= 1ull << 62;
+        }
+        try {
+            sim_error_if(check.maxOps != 0 && i >= check.maxOps,
+                         ErrorCategory::Timeout, "watchdog: op budget (",
+                         check.maxOps, ") exceeded");
+            sim_error_if(check.maxCycles != 0 &&
+                             machine_.now() > check.maxCycles,
+                         ErrorCategory::Timeout,
+                         "watchdog: cycle budget (", check.maxCycles,
+                         ") exceeded at cycle ", machine_.now());
+            execute(spec, op);
+            if (faulted && cfg.inject.arenaBitFlipAt == i + 1)
+                flipArenaBit();
+            if (check.interval != 0 && (i + 1) % check.interval == 0)
+                InvariantChecker::enforce(machine_,
+                                          "op " + std::to_string(i));
+        } catch (SimError &e) {
+            e.tagOpIndex(i);
+            throw;
+        }
+    }
+    sim_error_if(truncated, ErrorCategory::Trace,
+                 "trace truncated at op ", limit,
+                 " (missing FunctionEnd)");
+
+    if (check.interval != 0)
+        InvariantChecker::enforce(machine_, "end of run");
 
     if (opts.chargeRpc)
         chargeRpc(spec); // Store results.

@@ -24,6 +24,8 @@ struct RunOptions
     bool coldStart = false;
     /** Charge RPC bookends (functions fetch inputs / store results). */
     bool chargeRpc = true;
+    /** Hash the final machine state into RunResult::digest. */
+    bool computeDigest = false;
 };
 
 /** Trace interpreter. */
@@ -34,7 +36,13 @@ class FunctionExecutor
 
     /**
      * Run @p trace for the machine's current process.
-     * The trace must be self-consistent (every Free matches a Malloc).
+     *
+     * The trace must be self-consistent (every Free matches a Malloc);
+     * violations raise SimError(ErrorCategory::Trace) tagged with the
+     * offending op index. The machine configuration's check.* keys arm
+     * a watchdog (max ops / max cycles) and periodic invariant sweeps;
+     * its inject.* keys apply deterministic trace faults when the plan
+     * targets @p spec.
      */
     void run(const WorkloadSpec &spec, const Trace &trace,
              RunOptions opts = {});
@@ -66,6 +74,8 @@ class FunctionExecutor
 
     void chargeRpc(const WorkloadSpec &spec);
     void execute(const WorkloadSpec &spec, const TraceOp &op);
+    /** inject.arena_bit_flip_at: corrupt one arena allocation bitmap. */
+    void flipArenaBit();
 
     Machine &machine_;
     std::unordered_map<std::uint64_t, ObjectInfo> objects_;

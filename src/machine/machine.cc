@@ -4,6 +4,7 @@
 #include "rt/gomalloc.h"
 #include "rt/jemalloc.h"
 #include "rt/pymalloc.h"
+#include "sim/error.h"
 #include "sim/logging.h"
 
 namespace memento {
@@ -111,8 +112,9 @@ Machine::translate(Addr vaddr)
         ledger_.charge(walk_latency);
         if (!res.valid) {
             // Demand fault, then the access retries the walk.
-            fatal_if(!vm.handleFault(vaddr, *this),
-                     "segfault at 0x", std::hex, vaddr);
+            sim_error_if(!vm.handleFault(vaddr, *this),
+                         ErrorCategory::Trace,
+                         "segfault at 0x", std::hex, vaddr);
             if (auto huge = vm.lookupHuge(vaddr)) {
                 // The fault was satisfied with a huge page (THP).
                 const Addr base =
@@ -286,6 +288,20 @@ Machine::mementoSpace()
     if (procs_.empty())
         return nullptr;
     return procs_[current_].space.get();
+}
+
+Process &
+Machine::processAt(unsigned index)
+{
+    panic_if(index >= procs_.size(), "processAt: bad process index");
+    return *procs_[index].process;
+}
+
+MementoSpace *
+Machine::mementoSpaceAt(unsigned index)
+{
+    panic_if(index >= procs_.size(), "mementoSpaceAt: bad process index");
+    return procs_[index].space.get();
 }
 
 void

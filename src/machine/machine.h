@@ -73,6 +73,18 @@ class Machine : public Env
     /** The current process. */
     Process &process();
 
+    /** Number of created processes. */
+    unsigned processCount() const
+    {
+        return static_cast<unsigned>(procs_.size());
+    }
+
+    /** Process @p index (validation sweeps every address space). */
+    Process &processAt(unsigned index);
+
+    /** Memento state of process @p index (null without Memento). */
+    MementoSpace *mementoSpaceAt(unsigned index);
+
     /** Base of the current process's static working-set region. */
     Addr staticBase() const;
 

@@ -170,4 +170,40 @@ Cache::residentLines() const
     return n;
 }
 
+void
+Cache::forEachLine(
+    const std::function<void(Addr lineAddr, bool dirty)> &fn) const
+{
+    for (const Line &line : lines_) {
+        if (line.valid)
+            fn(line.tag << kLineShift, line.dirty);
+    }
+}
+
+bool
+Cache::checkIntegrity(std::vector<std::string> &violations) const
+{
+    const std::size_t before = violations.size();
+    for (std::uint64_t set = 0; set < numSets_; ++set) {
+        const Line *base = &lines_[set * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            const Line &line = base[w];
+            if (!line.valid) {
+                if (line.dirty)
+                    violations.push_back(name_ + ": invalid line dirty");
+                continue;
+            }
+            if (setIndex(line.tag << kLineShift) != set)
+                violations.push_back(
+                    name_ + ": tag does not map to its own set");
+            for (unsigned v = w + 1; v < ways_; ++v) {
+                if (base[v].valid && base[v].tag == line.tag)
+                    violations.push_back(
+                        name_ + ": duplicate tag within a set");
+            }
+        }
+    }
+    return violations.size() == before;
+}
+
 } // namespace memento

@@ -11,6 +11,7 @@
 #define MEMENTO_MEM_CACHE_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -76,9 +77,23 @@ class Cache
     /** Number of resident lines (for tests). */
     std::uint64_t residentLines() const;
 
+    /** Visit every resident line as (line base address, dirty). */
+    void forEachLine(
+        const std::function<void(Addr lineAddr, bool dirty)> &fn) const;
+
+    /**
+     * Verify internal tag/set consistency: every valid line's tag must
+     * map back to the set it occupies, and no set may hold the same
+     * tag twice. Appends one message per violation to @p violations.
+     * @return true when clean.
+     */
+    bool checkIntegrity(std::vector<std::string> &violations) const;
+
     const std::string &name() const { return name_; }
 
   private:
+    friend struct InvariantTestPeer; ///< Corruption hooks for val tests.
+
     struct Line
     {
         bool valid = false;

@@ -1,5 +1,7 @@
 #include "os/buddy_allocator.h"
 
+#include <sstream>
+
 #include "sim/logging.h"
 
 namespace memento {
@@ -92,19 +94,61 @@ BuddyAllocator::free(Addr addr, unsigned order)
 bool
 BuddyAllocator::checkInvariants() const
 {
+    std::vector<std::string> violations;
+    return checkIntegrity(violations);
+}
+
+bool
+BuddyAllocator::checkIntegrity(std::vector<std::string> &violations) const
+{
+    const std::size_t before = violations.size();
     std::uint64_t free_pages = 0;
     for (unsigned order = 0; order <= kMaxOrder; ++order) {
         for (Addr block : freeLists_[order]) {
-            if ((block - base_) % (kPageSize << order) != 0)
-                return false;
+            if ((block - base_) % (kPageSize << order) != 0) {
+                std::ostringstream os;
+                os << "buddy: misaligned order-" << order
+                   << " free block 0x" << std::hex << block;
+                violations.push_back(os.str());
+            }
+            // A free block must not intersect a live allocation.
+            if (ownsLivePage(block)) {
+                std::ostringstream os;
+                os << "buddy: block 0x" << std::hex << block
+                   << " is both free and live";
+                violations.push_back(os.str());
+            }
             free_pages += 1ull << order;
         }
     }
     std::uint64_t live_pages = 0;
     for (const auto &[addr, order] : liveBlocks_)
         live_pages += 1ull << order;
-    return free_pages + live_pages == totalPages_ &&
-           live_pages == allocatedPages_;
+    if (live_pages != allocatedPages_) {
+        std::ostringstream os;
+        os << "buddy: live-block pages (" << live_pages
+           << ") != allocated-page count (" << allocatedPages_ << ")";
+        violations.push_back(os.str());
+    }
+    if (free_pages + live_pages != totalPages_) {
+        std::ostringstream os;
+        os << "buddy: page conservation broken: free (" << free_pages
+           << ") + live (" << live_pages << ") != total (" << totalPages_
+           << ")";
+        violations.push_back(os.str());
+    }
+    return violations.size() == before;
+}
+
+bool
+BuddyAllocator::ownsLivePage(Addr paddr) const
+{
+    auto it = liveBlocks_.upper_bound(paddr);
+    if (it == liveBlocks_.begin())
+        return false;
+    --it;
+    const std::uint64_t block_bytes = kPageSize << it->second;
+    return paddr >= it->first && paddr < it->first + block_bytes;
 }
 
 } // namespace memento

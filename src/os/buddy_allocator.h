@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "sim/stats.h"
@@ -69,7 +70,20 @@ class BuddyAllocator
     /** Verify free-list invariants (tests); returns false on corruption. */
     bool checkInvariants() const;
 
+    /**
+     * Detailed integrity check: appends one message per violated
+     * invariant (misaligned free blocks, page-conservation breakage,
+     * free/live overlap) to @p violations.
+     * @return true when no violation was found.
+     */
+    bool checkIntegrity(std::vector<std::string> &violations) const;
+
+    /** True when the page frame at @p paddr lies in a live allocation. */
+    bool ownsLivePage(Addr paddr) const;
+
   private:
+    friend struct InvariantTestPeer; ///< Corruption hooks for val tests.
+
     Addr buddyOf(Addr addr, unsigned order) const;
 
     Addr base_;

@@ -166,6 +166,29 @@ PageTable::walk(Addr vaddr)
     return res;
 }
 
+void
+PageTable::forEachMapping(
+    const std::function<void(Addr vpage, Addr ppage)> &fn) const
+{
+    // Children/leaves are std::maps, so recursion yields ascending VAs.
+    std::function<void(const Node &, Addr, unsigned)> visit =
+        [&](const Node &node, Addr va_prefix, unsigned level) {
+            const unsigned shift =
+                kPageShift + kBitsPerLevel * (kLevels - 1 - level);
+            if (level + 1 == kLevels) {
+                for (const auto &[idx, ppage] : node.leaves)
+                    fn(va_prefix | (static_cast<Addr>(idx) << shift),
+                       ppage);
+                return;
+            }
+            for (const auto &[idx, child] : node.children)
+                visit(*child,
+                      va_prefix | (static_cast<Addr>(idx) << shift),
+                      level + 1);
+        };
+    visit(*root_, 0, 0);
+}
+
 Addr
 PageTable::rootPhys() const
 {

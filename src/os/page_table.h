@@ -78,6 +78,13 @@ class PageTable : public PageTableBase
     /** PageTableBase: structural walk visiting PTE line addresses. */
     WalkResult walk(Addr vaddr) override;
 
+    /**
+     * Visit every leaf mapping as (page virtual address, page physical
+     * address), in ascending virtual-address order (validation/digest).
+     */
+    void forEachMapping(
+        const std::function<void(Addr vpage, Addr ppage)> &fn) const;
+
     /** Number of leaf mappings currently live. */
     std::uint64_t mappedPages() const { return mappedPages_; }
 

@@ -2,6 +2,7 @@
 
 #include "mem/tlb.h"
 
+#include "sim/error.h"
 #include "sim/logging.h"
 
 namespace memento {
@@ -45,7 +46,8 @@ Addr
 VirtualMemory::allocFrame()
 {
     Addr frame = buddy_.allocatePage();
-    fatal_if(frame == kNullAddr, "out of physical memory (kernel)");
+    sim_error_if(frame == kNullAddr, ErrorCategory::OutOfMemory,
+                 "out of physical memory (kernel page-table node)");
     ++aggKernelPages_;
     ++residentKernel_;
     updatePeak();
@@ -88,6 +90,11 @@ VirtualMemory::mmap(std::uint64_t len, Env *env, bool populate,
              "mmap: bad alignment");
     len = alignUp(len, kPageSize);
 
+    sim_error_if(cfg_.inject.mmapFailAt != 0 &&
+                     mmapCalls_.value() + 1 == cfg_.inject.mmapFailAt,
+                 ErrorCategory::OutOfMemory,
+                 "mmap failed (injected fault at call ",
+                 cfg_.inject.mmapFailAt, ")");
     ++mmapCalls_;
     heapCursor_ = alignUp(heapCursor_, align);
     const Addr base = heapCursor_;
@@ -123,7 +130,8 @@ void
 VirtualMemory::backPage(Addr vpage, Env *env, bool bulk)
 {
     Addr frame = buddy_.allocatePage();
-    fatal_if(frame == kNullAddr, "out of physical memory (user)");
+    sim_error_if(frame == kNullAddr, ErrorCategory::OutOfMemory,
+                 "out of physical memory (user demand fault)");
     ++aggUserPages_;
     ++residentUser_;
     pageTable_->map(vpage, frame);
@@ -359,6 +367,16 @@ std::uint64_t
 VirtualMemory::faultCount() const
 {
     return faults_.value();
+}
+
+std::vector<std::pair<Addr, Addr>>
+VirtualMemory::vmaRanges() const
+{
+    std::vector<std::pair<Addr, Addr>> ranges;
+    ranges.reserve(vmas_.size());
+    for (const auto &[base, vma] : vmas_)
+        ranges.emplace_back(vma.base, vma.end());
+    return ranges;
 }
 
 } // namespace memento

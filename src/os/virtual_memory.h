@@ -21,6 +21,8 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "mem/env.h"
 #include "mem/tlb.h"
@@ -106,6 +108,10 @@ class VirtualMemory : public FrameSource
     std::uint64_t aggregateVmaBytes() const;
     /** Current resident user pages. */
     std::uint64_t residentUserPages() const { return residentUser_; }
+    /** Current resident kernel pages (page-table nodes). */
+    std::uint64_t residentKernelPages() const { return residentKernel_; }
+    /** [base, end) of every live VMA, ordered by base (validation). */
+    std::vector<std::pair<Addr, Addr>> vmaRanges() const;
     /** Peak resident footprint in pages (user + kernel). */
     std::uint64_t peakResidentPages() const;
     /** Number of live VMAs. */

@@ -13,6 +13,7 @@
 #define MEMENTO_SIM_CONFIG_H
 
 #include <cstdint>
+#include <string>
 
 #include "sim/types.h"
 
@@ -150,6 +151,58 @@ struct RuntimeTuning
     std::uint64_t goGcTriggerBytes = 1 << 20;
 };
 
+/** Runtime validation knobs (invariant checker + progress watchdog). */
+struct CheckConfig
+{
+    /**
+     * Run the cross-module invariant checker every this many trace ops
+     * (and once at the end of each run). 0 disables periodic checks.
+     */
+    std::uint64_t interval = 0;
+    /** Watchdog: abort a run after this many trace ops (0 = off). */
+    std::uint64_t maxOps = 0;
+    /** Watchdog: abort a run after this many cycles (0 = off). */
+    Cycles maxCycles = 0;
+};
+
+/**
+ * Deterministic fault-injection plan. All trigger points are keyed on
+ * monotonically increasing per-run counters (op index, mmap call count,
+ * pages granted), so a plan reproduces exactly across runs. A value of
+ * 0 disables the corresponding fault; `workload` (when non-empty)
+ * restricts the whole plan to the matching workload id.
+ */
+struct FaultPlan
+{
+    /** Fail the hardware page pool once it has been granted N pages. */
+    std::uint64_t poolExhaustAtPage = 0;
+    /** Fail the Nth mmap call of each process (1-based). */
+    std::uint64_t mmapFailAt = 0;
+    /** Truncate the replayed trace to its first N ops. */
+    std::uint64_t traceTruncateAt = 0;
+    /** Corrupt the trace record at op index N (1-based, bogus free). */
+    std::uint64_t traceCorruptAt = 0;
+    /** Flip one arena-header bitmap bit after op index N (1-based). */
+    std::uint64_t arenaBitFlipAt = 0;
+    /** Apply the plan only to this workload id ("" = every workload). */
+    std::string workload;
+
+    /** True when any fault is armed. */
+    bool
+    any() const
+    {
+        return poolExhaustAtPage || mmapFailAt || traceTruncateAt ||
+               traceCorruptAt || arenaBitFlipAt;
+    }
+
+    /** True when the plan applies to the workload @p id. */
+    bool
+    appliesTo(const std::string &id) const
+    {
+        return any() && (workload.empty() || workload == id);
+    }
+};
+
 /** Simulated virtual address-space layout (single process). */
 struct AddressLayout
 {
@@ -184,6 +237,8 @@ struct MachineConfig
     MementoConfig memento;
     RuntimeTuning tuning;
     AddressLayout layout;
+    CheckConfig check;
+    FaultPlan inject;
 
     /** Convert a millisecond value to cycles at the core frequency. */
     Cycles

@@ -5,7 +5,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "sim/logging.h"
+#include "sim/error.h"
 
 namespace memento {
 namespace {
@@ -39,10 +39,11 @@ parseInt(const std::string &key, const std::string &value)
     try {
         parsed = std::stoull(v, &pos);
     } catch (...) {
-        fatal("config: bad integer for ", key, ": '", value, "'");
+        sim_error(ErrorCategory::Config, "config: bad integer for ", key,
+                  ": '", value, "'");
     }
-    fatal_if(pos != v.size(), "config: bad integer for ", key, ": '",
-             value, "'");
+    sim_error_if(pos != v.size(), ErrorCategory::Config,
+                 "config: bad integer for ", key, ": '", value, "'");
     return parsed * scale;
 }
 
@@ -54,10 +55,11 @@ parseDouble(const std::string &key, const std::string &value)
     try {
         parsed = std::stod(value, &pos);
     } catch (...) {
-        fatal("config: bad number for ", key, ": '", value, "'");
+        sim_error(ErrorCategory::Config, "config: bad number for ", key,
+                  ": '", value, "'");
     }
-    fatal_if(pos != value.size(), "config: bad number for ", key, ": '",
-             value, "'");
+    sim_error_if(pos != value.size(), ErrorCategory::Config,
+                 "config: bad number for ", key, ": '", value, "'");
     return parsed;
 }
 
@@ -72,7 +74,8 @@ parseBool(const std::string &key, const std::string &value)
         return true;
     if (v == "false" || v == "off" || v == "0" || v == "no")
         return false;
-    fatal("config: bad boolean for ", key, ": '", value, "'");
+    sim_error(ErrorCategory::Config, "config: bad boolean for ", key,
+              ": '", value, "'");
 }
 
 } // namespace
@@ -144,8 +147,24 @@ applyConfigOption(const std::string &key, const std::string &value,
         cfg.tuning.jemallocChunkBytes = u64();
     else if (key == "tuning.go_gc_trigger")
         cfg.tuning.goGcTriggerBytes = u64();
+    // Validation / watchdog.
+    else if (key == "check.interval") cfg.check.interval = u64();
+    else if (key == "check.max_ops") cfg.check.maxOps = u64();
+    else if (key == "check.max_cycles") cfg.check.maxCycles = u64();
+    // Deterministic fault injection.
+    else if (key == "inject.pool_exhaust_at")
+        cfg.inject.poolExhaustAtPage = u64();
+    else if (key == "inject.mmap_fail_at") cfg.inject.mmapFailAt = u64();
+    else if (key == "inject.trace_truncate_at")
+        cfg.inject.traceTruncateAt = u64();
+    else if (key == "inject.trace_corrupt_at")
+        cfg.inject.traceCorruptAt = u64();
+    else if (key == "inject.arena_bit_flip_at")
+        cfg.inject.arenaBitFlipAt = u64();
+    else if (key == "inject.workload") cfg.inject.workload = value;
     else
-        fatal("config: unknown key '", key, "'");
+        sim_error(ErrorCategory::Config, "config: unknown key '", key,
+                  "'");
 }
 
 void
@@ -162,12 +181,12 @@ applyConfigStream(std::istream &is, MachineConfig &cfg)
         if (line.empty())
             continue;
         const std::size_t eq = line.find('=');
-        fatal_if(eq == std::string::npos,
-                 "config: missing '=' on line ", line_no);
+        sim_error_if(eq == std::string::npos, ErrorCategory::Config,
+                     "config: missing '=' on line ", line_no);
         const std::string key = trim(line.substr(0, eq));
         const std::string value = trim(line.substr(eq + 1));
-        fatal_if(key.empty() || value.empty(),
-                 "config: empty key or value on line ", line_no);
+        sim_error_if(key.empty() || value.empty(), ErrorCategory::Config,
+                     "config: empty key or value on line ", line_no);
         applyConfigOption(key, value, cfg);
     }
 }
@@ -176,7 +195,8 @@ void
 applyConfigFile(const std::string &path, MachineConfig &cfg)
 {
     std::ifstream in(path);
-    fatal_if(!in, "config: cannot open '", path, "'");
+    sim_error_if(!in, ErrorCategory::Config, "config: cannot open '",
+                 path, "'");
     applyConfigStream(in, cfg);
 }
 

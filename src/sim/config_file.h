@@ -5,8 +5,9 @@
  * Format: one `key = value` pair per line; `#` starts a comment; blank
  * lines ignored. Values are integers (decimal, or with a k/m/g binary
  * suffix: "256k" = 262144), floating point, or booleans
- * (true/false/on/off/1/0). Unknown keys are a fatal user error so
- * typos never silently run the default.
+ * (true/false/on/off/1/0). Unknown keys and malformed values raise a
+ * recoverable SimError (ErrorCategory::Config) so typos never silently
+ * run the default, yet a sweep driver can report and continue.
  *
  * Supported keys mirror MachineConfig:
  *
@@ -20,6 +21,10 @@
  *   memento.objects_per_arena, memento.hot_latency,
  *   memento.pool_refill, memento.mallacc
  *   tuning.pymalloc_arena, tuning.jemalloc_chunk, tuning.go_gc_trigger
+ *   check.interval, check.max_ops, check.max_cycles
+ *   inject.pool_exhaust_at, inject.mmap_fail_at,
+ *   inject.trace_truncate_at, inject.trace_corrupt_at,
+ *   inject.arena_bit_flip_at, inject.workload
  */
 
 #ifndef MEMENTO_SIM_CONFIG_FILE_H
@@ -34,11 +39,14 @@ namespace memento {
 
 /**
  * Apply `key = value` lines from @p is on top of @p cfg.
- * fatal()s on malformed lines or unknown keys.
+ * Throws SimError(Config) on malformed lines or unknown keys.
  */
 void applyConfigStream(std::istream &is, MachineConfig &cfg);
 
-/** applyConfigStream() over the file at @p path (fatal if unreadable). */
+/**
+ * applyConfigStream() over the file at @p path.
+ * Throws SimError(Config) when the file is unreadable.
+ */
 void applyConfigFile(const std::string &path, MachineConfig &cfg);
 
 /** Apply a single "key=value" assignment (command-line overrides). */

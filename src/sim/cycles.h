@@ -102,6 +102,7 @@ class CycleLedger
 
   private:
     friend class CategoryScope;
+    friend struct InvariantTestPeer; ///< Corruption hooks for val tests.
 
     Cycles total_ = 0;
     std::array<Cycles, kNumCycleCategories> byCategory_{};

@@ -1,0 +1,19 @@
+#include "sim/error.h"
+
+namespace memento {
+
+std::string_view
+errorCategoryName(ErrorCategory cat)
+{
+    switch (cat) {
+      case ErrorCategory::Config: return "config";
+      case ErrorCategory::Trace: return "trace";
+      case ErrorCategory::OutOfMemory: return "out-of-memory";
+      case ErrorCategory::Corruption: return "corruption";
+      case ErrorCategory::Timeout: return "timeout";
+      case ErrorCategory::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+} // namespace memento

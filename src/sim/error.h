@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Recoverable simulation errors.
+ *
+ * fatal()/panic() (sim/logging.h) terminate the whole process and are
+ * reserved for CLI misuse and genuine simulator bugs. Everything that
+ * can go wrong with *one run* — a corrupt trace, physical-memory
+ * exhaustion, an injected fault, an invariant violation, a watchdog
+ * timeout — throws SimError instead, so a sweep can capture the failure
+ * (category, message, op index, partial stats) and keep going.
+ */
+
+#ifndef MEMENTO_SIM_ERROR_H
+#define MEMENTO_SIM_ERROR_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sim/logging.h"
+
+namespace memento {
+
+/** Coarse classification of recoverable failures. */
+enum class ErrorCategory : std::uint8_t {
+    Config,      ///< Malformed configuration file / option.
+    Trace,       ///< Corrupt, truncated, or inconsistent trace.
+    OutOfMemory, ///< Physical memory / pool / region exhaustion.
+    Corruption,  ///< Cross-module invariant violation detected.
+    Timeout,     ///< Progress watchdog fired (runaway op stream).
+    Internal,    ///< Unexpected but contained simulator condition.
+};
+
+/** Human-readable category name ("out-of-memory", "timeout", ...). */
+std::string_view errorCategoryName(ErrorCategory cat);
+
+/** A recoverable per-run simulation error. */
+class SimError : public std::runtime_error
+{
+  public:
+    /** Sentinel for "not associated with a trace op". */
+    static constexpr std::uint64_t kNoOpIndex = ~0ull;
+
+    SimError(ErrorCategory cat, const std::string &msg,
+             std::uint64_t op_index = kNoOpIndex)
+        : std::runtime_error(msg), category_(cat), opIndex_(op_index)
+    {
+    }
+
+    ErrorCategory category() const { return category_; }
+
+    /** Trace op index the failure surfaced at (kNoOpIndex if none). */
+    std::uint64_t opIndex() const { return opIndex_; }
+    bool hasOpIndex() const { return opIndex_ != kNoOpIndex; }
+
+    /** Attach an op index if none is recorded yet (outer-frame tag). */
+    void
+    tagOpIndex(std::uint64_t op_index)
+    {
+        if (opIndex_ == kNoOpIndex)
+            opIndex_ = op_index;
+    }
+
+  private:
+    ErrorCategory category_;
+    std::uint64_t opIndex_;
+};
+
+} // namespace memento
+
+/** Throw a SimError built from streamed message parts. */
+#define sim_error(cat, ...)                                                 \
+    throw ::memento::SimError(cat,                                          \
+                              ::memento::detail::formatMsg(__VA_ARGS__))
+
+/** sim_error() unless @p cond is false. */
+#define sim_error_if(cond, cat, ...)                                        \
+    do {                                                                    \
+        if (cond)                                                           \
+            sim_error(cat, __VA_ARGS__);                                    \
+    } while (0)
+
+#endif // MEMENTO_SIM_ERROR_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Cross-module invariant checking.
+ *
+ * The simulator's modules keep redundant views of the same state — the
+ * OS page table vs. VMA list vs. buddy allocator, the Memento arena
+ * bitmaps vs. the HOT vs. the avail/full lists, the cache levels vs.
+ * the inclusion property, the cycle ledger vs. its category split. The
+ * checker walks all of them and reports every disagreement, so that a
+ * bug (or an injected fault) is caught at the op where state diverged
+ * instead of as a silently wrong result table.
+ *
+ * Checks are structural and read-only: they never charge cycles and
+ * never mutate machine state, so running them cannot perturb a result.
+ */
+
+#ifndef MEMENTO_VAL_INVARIANTS_H
+#define MEMENTO_VAL_INVARIANTS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace memento {
+
+class Machine;
+
+/** Outcome of one whole-machine sweep. */
+struct InvariantReport
+{
+    std::vector<std::string> violations;
+
+    bool clean() const { return violations.empty(); }
+
+    /** Violations joined for an error message (capped at @p max_items). */
+    std::string summary(std::size_t max_items = 8) const;
+};
+
+/** Whole-machine consistency sweep. */
+class InvariantChecker
+{
+  public:
+    /** Run every check; never throws. */
+    static InvariantReport check(Machine &machine);
+
+    /**
+     * Run every check and throw SimError(ErrorCategory::Corruption)
+     * describing the violations when any check fails. @p when names
+     * the call site for the message ("op 1234", "end of run").
+     */
+    static void enforce(Machine &machine, const std::string &when);
+
+  private:
+    static void checkLedger(Machine &m, std::vector<std::string> &v);
+    static void checkBuddy(Machine &m, std::vector<std::string> &v);
+    static void checkCaches(Machine &m, std::vector<std::string> &v);
+    static void checkVirtualMemory(Machine &m, std::vector<std::string> &v);
+    static void checkMemento(Machine &m, std::vector<std::string> &v);
+};
+
+} // namespace memento
+
+#endif // MEMENTO_VAL_INVARIANTS_H

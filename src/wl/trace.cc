@@ -5,6 +5,7 @@
 #include <sstream>
 #include <string>
 
+#include "sim/error.h"
 #include "sim/logging.h"
 
 namespace memento {
@@ -66,10 +67,18 @@ readTrace(std::istream &is)
         std::string name;
         TraceOp op;
         ls >> name >> op.value >> op.objId >> op.offset;
-        fatal_if(ls.fail() || !opFromName(name, op.kind),
-                 "trace parse error at line ", line_no);
+        sim_error_if(ls.fail() || !opFromName(name, op.kind),
+                     ErrorCategory::Trace, "trace parse error at line ",
+                     line_no);
         trace.push_back(op);
     }
+    // Serialized traces record complete invocations; a missing
+    // FunctionEnd terminator means the file was truncated.
+    sim_error_if(trace.empty() ||
+                     trace.back().kind != OpKind::FunctionEnd,
+                 ErrorCategory::Trace,
+                 "trace truncated: missing FunctionEnd terminator after ",
+                 trace.size(), " ops");
     return trace;
 }
 

@@ -52,8 +52,9 @@ using Trace = std::vector<TraceOp>;
 void writeTrace(const Trace &trace, std::ostream &os);
 
 /**
- * Parse a trace written by writeTrace(). Calls fatal() on malformed
- * input (a user error, not a simulator bug).
+ * Parse a trace written by writeTrace(). Throws SimError(Trace) on
+ * malformed input (a user error, not a simulator bug), so a sweep can
+ * skip the bad trace and continue.
  */
 Trace readTrace(std::istream &is);
 

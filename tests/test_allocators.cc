@@ -510,9 +510,10 @@ TEST_P(AllocatorPropertyTest, RandomTrafficNeverOverlapsLiveObjects)
             ASSERT_NE(p, kNullAddr);
             // Overlap check against neighbours in address order.
             auto next = live.lower_bound(p);
-            if (next != live.end())
+            if (next != live.end()) {
                 ASSERT_GE(next->first, p + size)
                     << "overlap at iteration " << i;
+            }
             if (next != live.begin()) {
                 auto prev = std::prev(next);
                 ASSERT_LE(prev->first + prev->second, p);

@@ -99,8 +99,9 @@ TEST_F(BuddyTest, MixedOrdersDoNotOverlap)
         const std::uint64_t bytes = kPageSize << order;
         // Check overlap against all live blocks.
         auto next = live.lower_bound(block);
-        if (next != live.end())
+        if (next != live.end()) {
             ASSERT_GE(next->first, block + bytes);
+        }
         if (next != live.begin()) {
             auto prev = std::prev(next);
             ASSERT_LE(prev->first + prev->second, block);

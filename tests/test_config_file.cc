@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "sim/config_file.h"
+#include "sim/error.h"
 
 namespace memento {
 namespace {
@@ -61,29 +62,43 @@ TEST(ConfigFile, BooleanSpellings)
     }
 }
 
-TEST(ConfigFileDeath, UnknownKeyIsFatal)
+TEST(ConfigFileError, UnknownKeyThrows)
 {
     MachineConfig cfg = defaultConfig();
-    EXPECT_DEATH(applyConfigOption("l1d.sizze", "64k", cfg),
-                 "unknown key");
+    EXPECT_THROW(applyConfigOption("l1d.sizze", "64k", cfg), SimError);
+    try {
+        applyConfigOption("l1d.sizze", "64k", cfg);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Config);
+        EXPECT_NE(std::string(e.what()).find("unknown key"),
+                  std::string::npos);
+    }
 }
 
-TEST(ConfigFileDeath, MalformedValueIsFatal)
+TEST(ConfigFileError, MalformedValueThrows)
 {
     MachineConfig cfg = defaultConfig();
-    EXPECT_DEATH(applyConfigOption("l1d.size", "sixty-four", cfg),
-                 "bad integer");
-    EXPECT_DEATH(applyConfigOption("core.freq_ghz", "fast", cfg),
-                 "bad number");
-    EXPECT_DEATH(applyConfigOption("memento.enabled", "maybe", cfg),
-                 "bad boolean");
+    EXPECT_THROW(applyConfigOption("l1d.size", "sixty-four", cfg),
+                 SimError);
+    EXPECT_THROW(applyConfigOption("core.freq_ghz", "fast", cfg),
+                 SimError);
+    EXPECT_THROW(applyConfigOption("memento.enabled", "maybe", cfg),
+                 SimError);
 }
 
-TEST(ConfigFileDeath, MissingEqualsIsFatal)
+TEST(ConfigFileError, MissingEqualsThrows)
 {
     MachineConfig cfg = defaultConfig();
     std::istringstream is("l1d.size 64k\n");
-    EXPECT_DEATH(applyConfigStream(is, cfg), "missing '='");
+    try {
+        applyConfigStream(is, cfg);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Config);
+        EXPECT_NE(std::string(e.what()).find("missing '='"),
+                  std::string::npos);
+    }
 }
 
 TEST(ConfigFile, EmptyAndCommentOnlyStreamsAreFine)

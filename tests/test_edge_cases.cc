@@ -14,6 +14,7 @@
 #include "machine/experiment.h"
 #include "machine/machine.h"
 #include "rt/glibc_large.h"
+#include "sim/error.h"
 #include "test_util.h"
 #include "wl/trace_generator.h"
 
@@ -188,7 +189,7 @@ TEST_F(GlibcEdge, ManySizesNoOverlapAcrossGrowth)
 // Region capacity guard
 // ---------------------------------------------------------------------
 
-TEST(RegionExhaustionDeath, BumpPastClassRegionIsFatal)
+TEST(RegionExhaustion, BumpPastClassRegionThrows)
 {
     MachineConfig cfg = test::smallMementoConfig();
     // Shrink the per-class region so exhaustion is reachable: 2 pages
@@ -202,8 +203,14 @@ TEST(RegionExhaustionDeath, BumpPastClassRegionIsFatal)
     TestEnv env;
     page_alloc.requestArena(space, 0, env);
     page_alloc.requestArena(space, 0, env);
-    EXPECT_DEATH(page_alloc.requestArena(space, 0, env),
-                 "region exhausted");
+    try {
+        page_alloc.requestArena(space, 0, env);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::OutOfMemory);
+        EXPECT_NE(std::string(e.what()).find("region exhausted"),
+                  std::string::npos);
+    }
 }
 
 // ---------------------------------------------------------------------

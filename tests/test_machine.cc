@@ -9,6 +9,7 @@
 
 #include "machine/function_executor.h"
 #include "machine/machine.h"
+#include "sim/error.h"
 #include "test_util.h"
 #include "wl/trace_generator.h"
 
@@ -60,12 +61,18 @@ TEST(MachineTest, FirstTouchFaultsThenTlbHits)
     EXPECT_GT(m.stats().value("l1tlb.hits"), 0u);
 }
 
-TEST(MachineTest, SegfaultIsFatal)
+TEST(MachineTest, SegfaultRaisesTraceError)
 {
     Machine m(test::smallConfig());
     m.createProcess(tinySpec(Language::Cpp));
-    EXPECT_DEATH(m.appAccess(0xDEAD'0000'0000ull, AccessType::Read),
-                 "segfault");
+    try {
+        m.appAccess(0xDEAD'0000'0000ull, AccessType::Read);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Trace);
+        EXPECT_NE(std::string(e.what()).find("segfault"),
+                  std::string::npos);
+    }
 }
 
 TEST(MachineTest, MementoRegionWalksBypassKernel)

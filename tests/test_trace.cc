@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "sim/error.h"
 #include "sim/size_class.h"
 #include "wl/trace.h"
 #include "wl/trace_generator.h"
@@ -38,11 +39,39 @@ TEST(TraceIo, RoundTrip)
 
 TEST(TraceIo, SkipsCommentsAndBlankLines)
 {
-    std::stringstream ss("# header\n\nC 10 0 0\n");
+    std::stringstream ss("# header\n\nC 10 0 0\nE 0 0 0\n");
     Trace parsed = readTrace(ss);
-    ASSERT_EQ(parsed.size(), 1u);
+    ASSERT_EQ(parsed.size(), 2u);
     EXPECT_EQ(parsed[0].kind, OpKind::Compute);
     EXPECT_EQ(parsed[0].value, 10u);
+}
+
+TEST(TraceIo, MalformedLineThrows)
+{
+    std::stringstream ss("C 10 0 0\nM 64\nE 0 0 0\n");
+    try {
+        readTrace(ss);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Trace);
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(TraceIo, TruncatedTraceThrows)
+{
+    // A file cut off before the FunctionEnd terminator must not
+    // replay silently.
+    std::stringstream ss("C 10 0 0\nM 64 1 0\n");
+    try {
+        readTrace(ss);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Trace);
+        EXPECT_NE(std::string(e.what()).find("truncated"),
+                  std::string::npos);
+    }
 }
 
 TEST(TraceIo, CountOps)
@@ -93,10 +122,11 @@ TEST_F(GeneratorTest, EveryFreeMatchesEarlierMalloc)
     Trace trace = TraceGenerator(spec()).generate();
     std::unordered_set<std::uint64_t> live;
     for (const TraceOp &op : trace) {
-        if (op.kind == OpKind::Malloc)
+        if (op.kind == OpKind::Malloc) {
             ASSERT_TRUE(live.insert(op.objId).second);
-        else if (op.kind == OpKind::Free)
+        } else if (op.kind == OpKind::Free) {
             ASSERT_EQ(live.erase(op.objId), 1u) << "free before malloc";
+        }
     }
 }
 
@@ -125,10 +155,11 @@ TEST_F(GeneratorTest, AccessOffsetsWithinObjectSize)
     Trace trace = TraceGenerator(spec()).generate();
     std::unordered_map<std::uint64_t, std::uint64_t> sizes;
     for (const TraceOp &op : trace) {
-        if (op.kind == OpKind::Malloc)
+        if (op.kind == OpKind::Malloc) {
             sizes[op.objId] = op.value;
-        else if (op.kind == OpKind::Load || op.kind == OpKind::Store)
+        } else if (op.kind == OpKind::Load || op.kind == OpKind::Store) {
             ASSERT_LT(op.offset, sizes.at(op.objId));
+        }
     }
 }
 

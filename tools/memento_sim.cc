@@ -5,8 +5,8 @@
  *   memento_sim list
  *       List the built-in workloads with their key statistics.
  *
- *   memento_sim run <workload> [options]
- *       Run one workload on one machine and dump the results.
+ *   memento_sim run <workload>|all [options]
+ *       Run one workload (or every workload) and dump the results.
  *
  *   memento_sim compare <workload>|all [options]
  *       Paired baseline vs Memento (and bypass-off) runs.
@@ -22,6 +22,15 @@
  *   --cold            charge container set-up (cold start)
  *   --trace FILE      replay a recorded trace instead of synthesizing
  *   --stats           dump every raw counter after the run
+ *   --keep-going      survive failing runs: finish the sweep, then print
+ *                     a structured failure report and exit non-zero
+ *   --digest          run each workload twice and compare machine-state
+ *                     digests (determinism check)
+ *
+ * A failing run (out of memory, bad trace, corruption detected by the
+ * invariant checker, watchdog timeout) raises SimError; without
+ * --keep-going the first failure stops the sweep. Simulator bugs still
+ * panic and user errors on the command line are still fatal.
  */
 
 #include <cstring>
@@ -36,7 +45,9 @@
 #include "machine/experiment.h"
 #include "machine/machine.h"
 #include "sim/config_file.h"
+#include "sim/error.h"
 #include "sim/logging.h"
+#include "val/digest.h"
 #include "wl/trace_generator.h"
 
 using namespace memento;
@@ -49,8 +60,33 @@ struct CliOptions
     bool memento = false;
     bool cold = false;
     bool dumpStats = false;
+    bool keepGoing = false;
+    bool digest = false;
     std::string traceFile;
 };
+
+/** One failed run, kept for the end-of-sweep report. */
+struct FailureRecord
+{
+    std::string workload;
+    RunError error;
+};
+
+void
+printFailureReport(const std::vector<FailureRecord> &failures)
+{
+    std::cout << "\n" << failures.size() << " run(s) failed:\n";
+    TextTable t({"workload", "category", "op", "error"});
+    for (const FailureRecord &f : failures) {
+        t.newRow();
+        t.cell(f.workload);
+        t.cell(std::string(errorCategoryName(f.error.category)));
+        t.cell(f.error.hasOpIndex() ? std::to_string(f.error.opIndex)
+                                    : std::string("-"));
+        t.cell(f.error.message);
+    }
+    t.print(std::cout);
+}
 
 void
 usage()
@@ -62,7 +98,7 @@ usage()
            "  compare <workload>|all    paired baseline vs Memento\n"
            "  trace <workload> <file>   write the workload's trace\n"
            "options: --config FILE, --set key=value, --memento, --cold,\n"
-           "         --trace FILE, --stats\n";
+           "         --trace FILE, --stats, --keep-going, --digest\n";
 }
 
 CliOptions
@@ -90,6 +126,10 @@ parseOptions(const std::vector<std::string> &args, std::size_t from)
             opts.cold = true;
         } else if (arg == "--stats") {
             opts.dumpStats = true;
+        } else if (arg == "--keep-going") {
+            opts.keepGoing = true;
+        } else if (arg == "--digest") {
+            opts.digest = true;
         } else if (arg == "--trace") {
             opts.traceFile = next();
         } else {
@@ -166,13 +206,24 @@ printRun(const MachineConfig &cfg, const RunResult &res)
 int
 cmdRun(const std::string &id, const CliOptions &opts)
 {
-    const WorkloadSpec &spec = workloadById(id);
-    const Trace trace = traceFor(spec, opts);
+    std::vector<WorkloadSpec> specs;
+    if (id == "all") {
+        fatal_if(!opts.traceFile.empty(),
+                 "--trace replays one workload, not 'all'");
+        fatal_if(opts.dumpStats, "--stats dumps one workload, not 'all'");
+        specs = allWorkloads();
+    } else {
+        specs.push_back(workloadById(id));
+    }
+
     RunOptions run_opts;
     run_opts.coldStart = opts.cold;
+    run_opts.computeDigest = opts.digest;
 
     if (opts.dumpStats) {
         // Re-run with a live machine so raw counters can be dumped.
+        const WorkloadSpec &spec = specs.front();
+        const Trace trace = traceFor(spec, opts);
         Machine machine(opts.cfg);
         machine.createProcess(spec);
         FunctionExecutor executor(machine);
@@ -181,11 +232,55 @@ cmdRun(const std::string &id, const CliOptions &opts)
         return 0;
     }
 
-    RunResult res = Experiment::runOne(spec, trace, opts.cfg, run_opts);
-    std::cout << "workload " << spec.id << " ("
-              << (opts.cfg.memento.enabled ? "memento" : "baseline")
-              << ")\n";
-    printRun(opts.cfg, res);
+    std::vector<FailureRecord> failures;
+    for (const WorkloadSpec &spec : specs) {
+        const Trace trace = traceFor(spec, opts);
+        const RunResult res =
+            Experiment::tryRunOne(spec, trace, opts.cfg, run_opts);
+        std::cout << "workload " << spec.id << " ("
+                  << (opts.cfg.memento.enabled ? "memento" : "baseline")
+                  << ")";
+        if (res.failed()) {
+            std::cout << ": FAILED ("
+                      << errorCategoryName(res.error->category) << ")\n";
+            failures.push_back({spec.id, *res.error});
+            if (!opts.keepGoing)
+                break;
+            continue;
+        }
+        std::cout << "\n";
+        printRun(opts.cfg, res);
+
+        if (opts.digest) {
+            // Paired run: an identical workload under an identical
+            // configuration must reproduce the machine state exactly.
+            const RunResult again =
+                Experiment::tryRunOne(spec, trace, opts.cfg, run_opts);
+            if (again.failed() || again.digest != res.digest) {
+                RunError err;
+                err.category = ErrorCategory::Internal;
+                err.message =
+                    again.failed()
+                        ? "paired digest run failed: " +
+                              again.error->message
+                        : "state digest mismatch: " +
+                              digestToHex(res.digest) + " vs " +
+                              digestToHex(again.digest) +
+                              " (nondeterministic state)";
+                failures.push_back({spec.id, err});
+                if (!opts.keepGoing)
+                    break;
+            } else {
+                std::cout << "state digest " << digestToHex(res.digest)
+                          << " (reproduced across paired runs)\n";
+            }
+        }
+    }
+
+    if (!failures.empty()) {
+        printFailureReport(failures);
+        return 1;
+    }
     return 0;
 }
 
@@ -208,10 +303,20 @@ cmdCompare(const std::string &id, const CliOptions &opts)
 
     TextTable t({"workload", "speedup", "traffic", "faults base->mem",
                  "alloc/free/page/bypass"});
+    std::vector<FailureRecord> failures;
     for (const WorkloadSpec &spec : specs) {
         std::cerr << "  running " << spec.id << "...\n";
-        Comparison cmp =
-            Experiment::compare(spec, base_cfg, memento_cfg, run_opts);
+        Comparison cmp;
+        try {
+            cmp = Experiment::compare(spec, base_cfg, memento_cfg,
+                                      run_opts);
+        } catch (const SimError &e) {
+            failures.push_back(
+                {spec.id, RunError{e.category(), e.what(), e.opIndex()}});
+            if (!opts.keepGoing)
+                break;
+            continue;
+        }
         Breakdown bd = computeBreakdown(cmp);
         t.newRow();
         t.cell(spec.id);
@@ -225,6 +330,10 @@ cmdCompare(const std::string &id, const CliOptions &opts)
                percentStr(bd.bypass, 0));
     }
     t.print(std::cout);
+    if (!failures.empty()) {
+        printFailureReport(failures);
+        return 1;
+    }
     return 0;
 }
 
@@ -251,14 +360,21 @@ main(int argc, char **argv)
         return 1;
     }
     const std::string &cmd = args[0];
-    if (cmd == "list")
-        return cmdList();
-    if (cmd == "run" && args.size() >= 2)
-        return cmdRun(args[1], parseOptions(args, 2));
-    if (cmd == "compare" && args.size() >= 2)
-        return cmdCompare(args[1], parseOptions(args, 2));
-    if (cmd == "trace" && args.size() >= 3)
-        return cmdTrace(args[1], args[2]);
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "run" && args.size() >= 2)
+            return cmdRun(args[1], parseOptions(args, 2));
+        if (cmd == "compare" && args.size() >= 2)
+            return cmdCompare(args[1], parseOptions(args, 2));
+        if (cmd == "trace" && args.size() >= 3)
+            return cmdTrace(args[1], args[2]);
+    } catch (const SimError &e) {
+        std::cerr << "memento_sim: error ("
+                  << errorCategoryName(e.category()) << "): " << e.what()
+                  << "\n";
+        return 1;
+    }
     usage();
     return 1;
 }
