@@ -30,6 +30,8 @@ struct RunError
     std::uint64_t opIndex = SimError::kNoOpIndex;
 
     bool hasOpIndex() const { return opIndex != SimError::kNoOpIndex; }
+
+    bool operator==(const RunError &) const = default;
 };
 
 /** Metrics of one run (deltas over the measurement window). */
@@ -74,6 +76,13 @@ struct RunResult
 
     bool failed() const { return error.has_value(); }
 
+    /**
+     * Field-wise equality, digest included. The parallel sweep's
+     * differential tests lean on this: a run is only deterministic if
+     * *every* metric reproduces, not just the state digest.
+     */
+    bool operator==(const RunResult &) const = default;
+
     Cycles
     category(CycleCategory cat) const
     {
@@ -107,7 +116,15 @@ struct Comparison
     double bandwidthReduction() const;
 };
 
-/** Runs workloads on configurations. */
+/**
+ * Runs workloads on configurations.
+ *
+ * Thread safety: every run builds its own Machine, and a Machine owns
+ * all of its mutable state (stats registry, cycle ledger, allocators,
+ * RNGs), so concurrent runOne/tryRunOne calls on *distinct* machines
+ * are safe — machine/sweep.h builds its worker pool directly on top of
+ * this contract. The shared Trace argument is only ever read.
+ */
 class Experiment
 {
   public:

@@ -28,7 +28,15 @@ struct RunOptions
     bool computeDigest = false;
 };
 
-/** Trace interpreter. */
+/**
+ * Trace interpreter.
+ *
+ * Holds no static or process-global state (audited for the parallel
+ * sweep engine): object bindings, fragmentation samples, and fault
+ * bookkeeping all live in the instance, and all machine state lives in
+ * the Machine. Distinct executor+machine pairs may therefore run
+ * concurrently on different threads; the shared Trace is read-only.
+ */
 class FunctionExecutor
 {
   public:

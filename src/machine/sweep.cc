@@ -1,0 +1,219 @@
+#include "machine/sweep.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "sim/error.h"
+#include "sim/logging.h"
+
+namespace memento {
+namespace {
+
+/**
+ * One worker's task queue. The owner takes from the front (ascending
+ * task index, which keeps cancellation checks cheap and early), a
+ * thief takes from the back. A mutex per deque is plenty here: tasks
+ * are whole simulator runs, so queue traffic is negligible next to
+ * task execution and a lock-free Chase-Lev deque would buy nothing.
+ */
+class TaskDeque
+{
+  public:
+    void
+    push(std::size_t idx)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        dq_.push_back(idx);
+    }
+
+    bool
+    popFront(std::size_t &idx)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (dq_.empty())
+            return false;
+        idx = dq_.front();
+        dq_.pop_front();
+        return true;
+    }
+
+    bool
+    popBack(std::size_t &idx)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (dq_.empty())
+            return false;
+        idx = dq_.back();
+        dq_.pop_back();
+        return true;
+    }
+
+  private:
+    std::mutex mu_;
+    std::deque<std::size_t> dq_;
+};
+
+/** Lower @p target to @p idx if smaller (lock-free min). */
+void
+atomicMin(std::atomic<std::size_t> &target, std::size_t idx)
+{
+    std::size_t cur = target.load(std::memory_order_relaxed);
+    while (idx < cur &&
+           !target.compare_exchange_weak(cur, idx,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+unsigned
+SweepEngine::effectiveJobs() const
+{
+    if (opts_.jobs != 0)
+        return opts_.jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+std::vector<SweepOutcome>
+SweepEngine::run(const std::vector<SweepTask> &tasks)
+{
+    std::vector<SweepOutcome> outcomes(tasks.size());
+
+    // No failure yet: every index compares below the sentinel.
+    std::atomic<std::size_t> first_failure{tasks.size()};
+    std::mutex start_cb_mu;
+
+    auto run_task = [&](std::size_t idx) {
+        const SweepTask &task = tasks[idx];
+        SweepOutcome &out = outcomes[idx];
+        out.result.workload = task.spec.id;
+
+        // Serial semantics: without keep-going, the serial sweep never
+        // starts a task ordered after a failure. A concurrent sibling
+        // may already have run — the merge stops before reporting it.
+        if (!opts_.keepGoing &&
+            idx > first_failure.load(std::memory_order_relaxed)) {
+            out.skipped = true;
+            return;
+        }
+
+        if (opts_.onTaskStart) {
+            std::lock_guard<std::mutex> lock(start_cb_mu);
+            opts_.onTaskStart(task, idx);
+        }
+
+        MachineConfig cfg = task.cfg;
+        if (opts_.watchdogMaxOps != 0 && cfg.check.maxOps == 0)
+            cfg.check.maxOps = opts_.watchdogMaxOps;
+        if (opts_.watchdogMaxCycles != 0 && cfg.check.maxCycles == 0)
+            cfg.check.maxCycles = opts_.watchdogMaxCycles;
+
+        try {
+            std::shared_ptr<const Trace> trace =
+                task.trace ? task.trace : cache_.get(task.spec);
+            out.result =
+                Experiment::tryRunOne(task.spec, *trace, cfg, task.opts);
+        } catch (const SimError &e) {
+            // tryRunOne already captures SimError; this arm only
+            // catches set-up failures outside it (trace synthesis).
+            out.result.error =
+                RunError{e.category(), e.what(), e.opIndex()};
+        } catch (const std::exception &e) {
+            // Anything unexpected must not escape the worker thread
+            // (std::terminate would tear the whole sweep down).
+            out.result.error =
+                RunError{ErrorCategory::Internal,
+                         std::string("worker: ") + e.what(),
+                         SimError::kNoOpIndex};
+        }
+
+        if (out.result.failed() && !opts_.keepGoing)
+            atomicMin(first_failure, idx);
+    };
+
+    const std::size_t workers =
+        std::min<std::size_t>(effectiveJobs(), tasks.size());
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            run_task(i);
+        return outcomes;
+    }
+
+    // Round-robin seeding spreads each workload's config variants over
+    // different workers, so shared-trace first touches overlap early.
+    std::vector<TaskDeque> deques(workers);
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        deques[i % workers].push(i);
+
+    auto worker_loop = [&](std::size_t me) {
+        std::size_t idx;
+        for (;;) {
+            if (deques[me].popFront(idx)) {
+                run_task(idx);
+                continue;
+            }
+            bool stole = false;
+            for (std::size_t off = 1; off < workers && !stole; ++off)
+                stole = deques[(me + off) % workers].popBack(idx);
+            if (!stole)
+                return; // All deques drained; no tasks are ever added.
+            run_task(idx);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        pool.emplace_back(worker_loop, w);
+    for (std::thread &t : pool)
+        t.join();
+    return outcomes;
+}
+
+std::vector<ComparisonOutcome>
+compareSweep(const std::vector<WorkloadSpec> &specs,
+             const MachineConfig &base_cfg,
+             const MachineConfig &memento_cfg, RunOptions run_opts,
+             SweepEngine &engine)
+{
+    panic_if(base_cfg.memento.enabled, "compareSweep: base has Memento on");
+    panic_if(!memento_cfg.memento.enabled,
+             "compareSweep: memento config has Memento off");
+
+    MachineConfig no_bypass_cfg = memento_cfg;
+    no_bypass_cfg.memento.bypassEnabled = false;
+
+    std::vector<SweepTask> tasks;
+    tasks.reserve(specs.size() * 3);
+    for (const WorkloadSpec &spec : specs) {
+        tasks.push_back({spec, base_cfg, run_opts, nullptr});
+        tasks.push_back({spec, memento_cfg, run_opts, nullptr});
+        tasks.push_back({spec, no_bypass_cfg, run_opts, nullptr});
+    }
+
+    const std::vector<SweepOutcome> outcomes = engine.run(tasks);
+
+    std::vector<ComparisonOutcome> result(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        ComparisonOutcome &out = result[i];
+        out.cmp.spec = specs[i];
+        out.cmp.base = outcomes[3 * i].result;
+        out.cmp.memento = outcomes[3 * i + 1].result;
+        out.cmp.mementoNoBypass = outcomes[3 * i + 2].result;
+        // Report the failure the serial compare() would have thrown:
+        // the first failed run in triple order.
+        for (const RunResult *run :
+             {&out.cmp.base, &out.cmp.memento, &out.cmp.mementoNoBypass}) {
+            if (run->failed()) {
+                out.error = run->error;
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace memento

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Parallel sweep engine: fans (workload x configuration) runs out over
+ * a work-stealing thread pool and merges the outcomes back in task
+ * order, so a sweep at any --jobs level reports byte-identically to
+ * the serial path.
+ *
+ * Determinism rests on three properties, all enforced here or audited
+ * in the components this header names:
+ *  - every run owns a fresh Machine (no shared mutable simulator
+ *    state; the Rng, StatRegistry, and allocators are all per-machine);
+ *  - shared traces are immutable (TraceCache hands out
+ *    shared_ptr<const Trace>, synthesized exactly once per workload);
+ *  - results land in a pre-sized slot vector indexed by task order, so
+ *    the merge never observes scheduling order.
+ *
+ * A failing run raises SimError inside its worker and is captured
+ * there (Experiment::tryRunOne); one task's failure never tears down
+ * its siblings. Without keep-going, tasks *after* the earliest failure
+ * are cancelled cooperatively — exactly the tasks the serial sweep
+ * would never have started.
+ */
+
+#ifndef MEMENTO_MACHINE_SWEEP_H
+#define MEMENTO_MACHINE_SWEEP_H
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "machine/experiment.h"
+#include "sim/config.h"
+#include "wl/trace_generator.h"
+#include "wl/workloads.h"
+
+namespace memento {
+
+/** One unit of sweep work: a single workload run under one config. */
+struct SweepTask
+{
+    WorkloadSpec spec;
+    MachineConfig cfg;
+    RunOptions opts;
+    /**
+     * Replay trace override (e.g. --trace FILE). When null, the
+     * engine's TraceCache synthesizes the spec's trace on first touch
+     * and shares it across every task of the same workload.
+     */
+    std::shared_ptr<const Trace> trace;
+};
+
+/** Sweep-wide execution policy. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+    /**
+     * Keep running tasks after a failure (--keep-going). When false,
+     * tasks ordered after the earliest failed task are cancelled
+     * before they start, mirroring the serial early exit.
+     */
+    bool keepGoing = false;
+    /**
+     * Pool watchdog: applied to any task whose config does not arm its
+     * own check.maxOps / check.maxCycles budget, so a single runaway
+     * run times out with ErrorCategory::Timeout instead of stalling
+     * its worker (and, transitively, the pool) forever. 0 = off.
+     */
+    std::uint64_t watchdogMaxOps = 0;
+    Cycles watchdogMaxCycles = 0;
+    /**
+     * Progress callback fired as each task starts, serialized by an
+     * internal mutex (safe to write to a stream from). May be null.
+     */
+    std::function<void(const SweepTask &, std::size_t index)> onTaskStart;
+};
+
+/** Outcome of one sweep task, in task order. */
+struct SweepOutcome
+{
+    RunResult result;
+    /**
+     * Task was cancelled before starting (a lower-indexed task failed
+     * and keep-going was off). The deterministic merge never reports
+     * skipped tasks: it stops at the failure that caused them.
+     */
+    bool skipped = false;
+};
+
+/**
+ * The pool. One engine instance per sweep; the embedded TraceCache
+ * lives as long as the engine, so successive run() calls on one engine
+ * reuse already-synthesized traces.
+ */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(SweepOptions opts = {}) : opts_(std::move(opts)) {}
+
+    /**
+     * Execute every task and return outcomes in task order. With
+     * jobs == 1 the tasks run inline on the calling thread, in order —
+     * the exact serial semantics; with jobs > 1 they are distributed
+     * round-robin over per-worker deques, and an idle worker steals
+     * from the back of a sibling's deque. Outcomes are identical
+     * either way (bar scheduling of the cancellation race: a task the
+     * serial path would have skipped may have run — it is still never
+     * reported).
+     */
+    std::vector<SweepOutcome> run(const std::vector<SweepTask> &tasks);
+
+    TraceCache &traceCache() { return cache_; }
+
+    /** Effective worker count for this engine (resolves jobs == 0). */
+    unsigned effectiveJobs() const;
+
+  private:
+    SweepOptions opts_;
+    TraceCache cache_;
+};
+
+/** Per-workload outcome of a comparison sweep. */
+struct ComparisonOutcome
+{
+    Comparison cmp;
+    /**
+     * First failure across the triple in (base, memento, no-bypass)
+     * order — the same run the serial Experiment::compare() would have
+     * thrown from. The cmp fields still hold the partial metrics of
+     * every run that executed.
+     */
+    std::optional<RunError> error;
+};
+
+/**
+ * Parallel Experiment::compare() over many workloads: each of the
+ * three runs of each workload is its own sweep task, all sharing the
+ * workload's cached trace. Outcomes are returned in @p specs order.
+ */
+std::vector<ComparisonOutcome>
+compareSweep(const std::vector<WorkloadSpec> &specs,
+             const MachineConfig &base_cfg,
+             const MachineConfig &memento_cfg, RunOptions run_opts,
+             SweepEngine &engine);
+
+} // namespace memento
+
+#endif // MEMENTO_MACHINE_SWEEP_H

@@ -2,32 +2,57 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace memento {
+namespace {
+
+// Sweep workers log concurrently. Each fprintf call below emits one
+// whole line, and this mutex keeps lines from different threads from
+// interleaving mid-message (POSIX only guarantees atomicity per stdio
+// call, and a diagnostic split across calls would be unreadable).
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+} // namespace
 
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::abort();
 }
 
 [[noreturn]] void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

@@ -5,6 +5,9 @@
  * panic() is for simulator invariant violations (bugs in this code base);
  * fatal() is for user/configuration errors that make continuing pointless.
  * Both terminate; warn()/inform() only print.
+ *
+ * All four are safe to call from parallel sweep workers: emission is
+ * serialized by an internal mutex so lines never interleave.
  */
 
 #ifndef MEMENTO_SIM_LOGGING_H

@@ -59,7 +59,15 @@ class Counter
     std::uint64_t *slot_ = nullptr;
 };
 
-/** Owns all counters of one simulated machine. */
+/**
+ * Owns all counters of one simulated machine.
+ *
+ * Deliberately not synchronized: a registry belongs to exactly one
+ * Machine, and a machine is driven by exactly one thread. The parallel
+ * sweep engine gives every run a fresh Machine (hence a fresh
+ * registry) instead of sharing counters across workers — there are no
+ * process-wide statistics anywhere in the simulator.
+ */
 class StatRegistry
 {
   public:

@@ -157,4 +157,28 @@ TraceGenerator::generate() const
     return trace;
 }
 
+std::shared_ptr<const Trace>
+TraceCache::get(const WorkloadSpec &spec)
+{
+    const std::string key = spec.id + '#' + std::to_string(spec.seed) +
+                            '#' + std::to_string(spec.numAllocs);
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::shared_ptr<Entry> &slot = entries_[key];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+    // The map lock is not held while synthesizing: other workloads'
+    // first touches proceed concurrently; only same-key late arrivals
+    // block here, on the entry's own once_flag.
+    std::call_once(entry->once, [&] {
+        entry->trace =
+            std::make_shared<const Trace>(TraceGenerator(spec).generate());
+        generations_.fetch_add(1, std::memory_order_relaxed);
+    });
+    return entry->trace;
+}
+
 } // namespace memento

@@ -14,6 +14,13 @@
 #ifndef MEMENTO_WL_TRACE_GENERATOR_H
 #define MEMENTO_WL_TRACE_GENERATOR_H
 
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
 #include "wl/trace.h"
 #include "wl/workloads.h"
 
@@ -30,6 +37,45 @@ class TraceGenerator
 
   private:
     const WorkloadSpec &spec_;
+};
+
+/**
+ * Thread-safe memoization of TraceGenerator::generate().
+ *
+ * A sweep runs each workload under several configurations (baseline,
+ * Memento, bypass-off, digest pairing); the trace depends only on the
+ * spec, so synthesizing it once and sharing it is both a large saving
+ * and a correctness aid — every variant replays the *same object*, not
+ * merely an equal one. Traces are handed out as shared_ptr<const Trace>
+ * so no caller can mutate the shared copy.
+ *
+ * Concurrent first touches of the same workload synthesize exactly
+ * once: late arrivals block on the entry's once_flag until the winner
+ * has published the trace.
+ */
+class TraceCache
+{
+  public:
+    /**
+     * The trace for @p spec, synthesizing on first touch. Entries are
+     * keyed by (id, seed, numAllocs); one cache must not be fed two
+     * different specs that collide on that key.
+     */
+    std::shared_ptr<const Trace> get(const WorkloadSpec &spec);
+
+    /** Number of actual generate() calls performed (for tests). */
+    std::uint64_t generations() const { return generations_.load(); }
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        std::shared_ptr<const Trace> trace;
+    };
+
+    std::mutex mu_;
+    std::map<std::string, std::shared_ptr<Entry>> entries_;
+    std::atomic<std::uint64_t> generations_{0};
 };
 
 } // namespace memento

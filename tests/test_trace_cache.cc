@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the memoized shared trace cache (wl/trace_generator.h):
+ * hit identity, single generation under concurrent first touch, and
+ * const-correctness of the shared handle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "wl/trace_generator.h"
+#include "wl/workloads.h"
+
+namespace memento {
+namespace {
+
+WorkloadSpec
+tinySpec(const std::string &id, std::uint64_t seed)
+{
+    WorkloadSpec spec = workloadById("aes");
+    spec.id = id;
+    spec.seed = seed;
+    spec.numAllocs = 500;
+    return spec;
+}
+
+// The API must hand out immutable traces: a worker that could mutate
+// the shared copy would silently poison every sibling run.
+static_assert(
+    std::is_same_v<decltype(std::declval<TraceCache>().get(
+                       std::declval<const WorkloadSpec &>())),
+                   std::shared_ptr<const Trace>>,
+    "TraceCache::get must return a shared_ptr to a const Trace");
+
+TEST(TraceCache, HitReturnsSameObject)
+{
+    TraceCache cache;
+    const WorkloadSpec spec = tinySpec("tc-hit", 7);
+
+    const std::shared_ptr<const Trace> first = cache.get(spec);
+    const std::shared_ptr<const Trace> second = cache.get(spec);
+
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first.get(), second.get())
+        << "a cache hit must return the identical Trace object";
+    EXPECT_EQ(cache.generations(), 1u);
+}
+
+TEST(TraceCache, CachedTraceMatchesDirectGeneration)
+{
+    TraceCache cache;
+    const WorkloadSpec spec = tinySpec("tc-content", 11);
+
+    const std::shared_ptr<const Trace> cached = cache.get(spec);
+    const Trace direct = TraceGenerator(spec).generate();
+
+    EXPECT_EQ(*cached, direct);
+}
+
+TEST(TraceCache, DistinctKeysGenerateSeparately)
+{
+    TraceCache cache;
+    const WorkloadSpec a = tinySpec("tc-a", 1);
+    const WorkloadSpec b = tinySpec("tc-b", 1);
+    WorkloadSpec a_reseeded = a;
+    a_reseeded.seed = 2;
+
+    const auto ta = cache.get(a);
+    const auto tb = cache.get(b);
+    const auto ta2 = cache.get(a_reseeded);
+
+    EXPECT_NE(ta.get(), tb.get());
+    EXPECT_NE(ta.get(), ta2.get())
+        << "a reseeded spec must not hit the old entry";
+    EXPECT_EQ(cache.generations(), 3u);
+    EXPECT_EQ(cache.get(a).get(), ta.get());
+    EXPECT_EQ(cache.generations(), 3u);
+}
+
+TEST(TraceCache, ConcurrentFirstTouchGeneratesOnce)
+{
+    constexpr int kThreads = 16;
+    TraceCache cache;
+    const WorkloadSpec spec = tinySpec("tc-race", 23);
+
+    // Line every thread up at a start barrier so all of them hit the
+    // cold entry at once, then verify only one generation happened and
+    // everyone got the same object.
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::shared_ptr<const Trace>> got(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            ready.fetch_add(1);
+            while (!go.load())
+                std::this_thread::yield();
+            got[t] = cache.get(spec);
+        });
+    }
+    while (ready.load() < kThreads)
+        std::this_thread::yield();
+    go.store(true);
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(cache.generations(), 1u)
+        << "concurrent first touch must synthesize exactly once";
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(got[t].get(), got[0].get());
+}
+
+} // namespace
+} // namespace memento

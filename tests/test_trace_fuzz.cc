@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Property-based trace fuzzing. 200 seeded random workload specs —
+ * sizes, lifetimes, and per-language mixes drawn through the same
+ * wl/distributions machinery the paper workloads use — are synthesized
+ * into traces and checked two ways:
+ *
+ *  - structurally: unique object ids, every Free/Load/Store hits a
+ *    live object, and every allocation either has a matching Free or
+ *    survives to the trailing FunctionEnd batch free;
+ *  - dynamically: the trace replays cleanly under both the baseline
+ *    and the Memento machine with the invariant checker armed at
+ *    check.interval = 1 (every op), and no object outlives the run.
+ *
+ * Seeds are sharded across TEST_P instances so CTest parallelism can
+ * spread the work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "machine/function_executor.h"
+#include "machine/machine.h"
+#include "sim/error.h"
+#include "sim/rng.h"
+#include "test_util.h"
+#include "wl/distributions.h"
+#include "wl/trace_generator.h"
+#include "wl/workloads.h"
+
+namespace memento {
+namespace {
+
+constexpr int kShards = 8;
+constexpr int kSeedsPerShard = 25; // 8 x 25 = 200 fuzz cases.
+
+/** An 8-byte-granule size range within the small-object span. */
+SizeBucket
+randomSmallBucket(Rng &rng)
+{
+    const std::uint64_t lo = 8 * rng.nextRange(1, 32);       // 8..256
+    const std::uint64_t hi = lo + 8 * rng.nextRange(0, 32);  // <= 512
+    return {rng.nextRange(1, 10) / 1.0, lo, std::min<std::uint64_t>(hi, 512)};
+}
+
+/**
+ * A random but structurally valid workload spec. Every stochastic
+ * parameter flows from @p seed alone, so a failing case replays
+ * exactly from its seed.
+ */
+WorkloadSpec
+randomSpec(std::uint64_t seed)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x2545F4914F6CDD1Dull);
+    WorkloadSpec spec;
+    spec.id = "fuzz-" + std::to_string(seed);
+    spec.description = "property fuzz case";
+    spec.seed = seed + 1;
+
+    const Language langs[] = {Language::Python, Language::Cpp,
+                              Language::Golang};
+    spec.lang = langs[rng.nextBelow(3)];
+    spec.domain = Domain::Function;
+
+    spec.numAllocs = rng.nextRange(40, 220);
+
+    std::vector<SizeBucket> buckets;
+    const unsigned nbuckets = 1 + rng.nextBelow(3);
+    for (unsigned b = 0; b < nbuckets; ++b)
+        buckets.push_back(randomSmallBucket(rng));
+    spec.sizeDist = SizeDistribution(buckets);
+
+    spec.lifetime.pShort = 0.3 + 0.65 * rng.nextDouble();
+    spec.lifetime.meanShortDistance = 1.0 + 15.0 * rng.nextDouble();
+    spec.lifetime.pLongFreed = 0.3 * rng.nextDouble();
+    spec.lifetime.meanLongDistance = 50.0 + 750.0 * rng.nextDouble();
+
+    spec.pLarge = 0.1 * rng.nextDouble();
+    spec.largeDist =
+        SizeDistribution({{1.0, 1 << 10, 32 << 10}});
+    spec.pLargeShort = rng.nextDouble();
+
+    spec.computePerAlloc = rng.nextRange(0, 300);
+    spec.touchStores = rng.nextBelow(4);
+    spec.touchLoads = rng.nextBelow(4);
+    spec.staticWsBytes = 4096 * rng.nextRange(1, 16);
+    spec.staticAccesses = rng.nextBelow(4);
+    spec.rpcBytes = 1024 * rng.nextBelow(8);
+
+    if (rng.nextBool(0.3)) {
+        spec.burstEvery = rng.nextRange(20, 100);
+        spec.burstBytes = 1024 * rng.nextRange(1, 64);
+        spec.burstObjSize = 8 * rng.nextRange(8, 256);
+    }
+    return spec;
+}
+
+/** Structural self-consistency of a synthesized trace. */
+void
+checkWellFormed(const Trace &trace, const std::string &ctx)
+{
+    ASSERT_FALSE(trace.empty()) << ctx;
+    ASSERT_EQ(trace.back().kind, OpKind::FunctionEnd)
+        << ctx << ": trace must end in the FunctionEnd batch free";
+
+    std::unordered_set<std::uint64_t> live, ever;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const TraceOp &op = trace[i];
+        switch (op.kind) {
+          case OpKind::Malloc:
+            ASSERT_TRUE(ever.insert(op.objId).second)
+                << ctx << ": duplicate object id at op " << i;
+            live.insert(op.objId);
+            break;
+          case OpKind::Free:
+            ASSERT_EQ(live.erase(op.objId), 1u)
+                << ctx << ": free of dead/unknown object at op " << i;
+            break;
+          case OpKind::Load:
+          case OpKind::Store:
+            ASSERT_TRUE(live.count(op.objId))
+                << ctx << ": access to dead object at op " << i;
+            break;
+          case OpKind::FunctionEnd:
+            ASSERT_EQ(i, trace.size() - 1)
+                << ctx << ": FunctionEnd mid-trace at op " << i;
+            break;
+          default:
+            break;
+        }
+    }
+    // Whatever is still live is exactly the set the FunctionEnd batch
+    // free reclaims — every alloc has a free or survives to the end.
+}
+
+/** Replay with the invariant checker armed at every op. */
+void
+checkReplaysClean(const WorkloadSpec &spec, const Trace &trace,
+                  MachineConfig cfg, const std::string &ctx)
+{
+    cfg.check.interval = 1;
+    try {
+        Machine machine(cfg);
+        machine.createProcess(spec);
+        FunctionExecutor executor(machine);
+        executor.run(spec, trace, RunOptions{});
+        EXPECT_EQ(executor.liveObjects(), 0u)
+            << ctx << ": objects survived FunctionEnd";
+    } catch (const SimError &e) {
+        FAIL() << ctx << ": " << errorCategoryName(e.category()) << " at op "
+               << (e.hasOpIndex() ? std::to_string(e.opIndex())
+                                  : std::string("-"))
+               << ": " << e.what();
+    }
+}
+
+class TraceFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TraceFuzz, RandomTracesReplayCleanUnderFullChecking)
+{
+    const int shard = GetParam();
+    for (int s = 0; s < kSeedsPerShard; ++s) {
+        const std::uint64_t seed =
+            static_cast<std::uint64_t>(shard) * kSeedsPerShard + s;
+        const WorkloadSpec spec = randomSpec(seed);
+        const std::string ctx = "seed " + std::to_string(seed);
+
+        const Trace trace = TraceGenerator(spec).generate();
+        checkWellFormed(trace, ctx);
+        if (::testing::Test::HasFatalFailure())
+            return;
+
+        checkReplaysClean(spec, trace, test::smallConfig(),
+                          ctx + " baseline");
+        checkReplaysClean(spec, trace, test::smallMementoConfig(),
+                          ctx + " memento");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, TraceFuzz,
+                         ::testing::Range(0, kShards));
+
+} // namespace
+} // namespace memento

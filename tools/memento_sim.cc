@@ -26,15 +26,24 @@
  *                     a structured failure report and exit non-zero
  *   --digest          run each workload twice and compare machine-state
  *                     digests (determinism check)
+ *   --jobs N          run the sweep on N worker threads (default: the
+ *                     hardware concurrency). Output, digests, and the
+ *                     failure report are byte-identical at any N.
  *
  * A failing run (out of memory, bad trace, corruption detected by the
  * invariant checker, watchdog timeout) raises SimError; without
  * --keep-going the first failure stops the sweep. Simulator bugs still
  * panic and user errors on the command line are still fatal.
+ *
+ * Sweeps (run all / compare all) fan individual runs out over the
+ * machine/sweep.h work-stealing pool and merge results back in
+ * workload order, so parallelism never changes what gets printed.
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -44,6 +53,7 @@
 #include "machine/breakdown.h"
 #include "machine/experiment.h"
 #include "machine/machine.h"
+#include "machine/sweep.h"
 #include "sim/config_file.h"
 #include "sim/error.h"
 #include "sim/logging.h"
@@ -62,6 +72,7 @@ struct CliOptions
     bool dumpStats = false;
     bool keepGoing = false;
     bool digest = false;
+    unsigned jobs = 0; ///< Sweep worker threads; 0 = hw concurrency.
     std::string traceFile;
 };
 
@@ -98,7 +109,8 @@ usage()
            "  compare <workload>|all    paired baseline vs Memento\n"
            "  trace <workload> <file>   write the workload's trace\n"
            "options: --config FILE, --set key=value, --memento, --cold,\n"
-           "         --trace FILE, --stats, --keep-going, --digest\n";
+           "         --trace FILE, --stats, --keep-going, --digest,\n"
+           "         --jobs N\n";
 }
 
 CliOptions
@@ -130,6 +142,14 @@ parseOptions(const std::vector<std::string> &args, std::size_t from)
             opts.keepGoing = true;
         } else if (arg == "--digest") {
             opts.digest = true;
+        } else if (arg == "--jobs") {
+            const std::string &v = next();
+            char *end = nullptr;
+            const long n = std::strtol(v.c_str(), &end, 10);
+            fatal_if(end == v.c_str() || *end != '\0' || n < 1 ||
+                         n > 4096,
+                     "--jobs expects a positive thread count, got ", v);
+            opts.jobs = static_cast<unsigned>(n);
         } else if (arg == "--trace") {
             opts.traceFile = next();
         } else {
@@ -232,11 +252,33 @@ cmdRun(const std::string &id, const CliOptions &opts)
         return 0;
     }
 
+    // Fan the sweep out over the work-stealing pool: one task per run
+    // (a digest check is two runs, dispatched as sibling tasks). The
+    // merge below reports strictly in workload order, so the output is
+    // byte-identical at any --jobs level.
+    const std::size_t runs_per = opts.digest ? 2 : 1;
+    std::shared_ptr<const Trace> replay;
+    if (!opts.traceFile.empty()) {
+        std::ifstream in(opts.traceFile);
+        fatal_if(!in, "cannot open trace file ", opts.traceFile);
+        replay = std::make_shared<const Trace>(readTrace(in));
+    }
+    std::vector<SweepTask> tasks;
+    tasks.reserve(specs.size() * runs_per);
+    for (const WorkloadSpec &spec : specs)
+        for (std::size_t r = 0; r < runs_per; ++r)
+            tasks.push_back({spec, opts.cfg, run_opts, replay});
+
+    SweepOptions sweep_opts;
+    sweep_opts.jobs = opts.jobs;
+    sweep_opts.keepGoing = opts.keepGoing;
+    SweepEngine engine(sweep_opts);
+    const std::vector<SweepOutcome> outcomes = engine.run(tasks);
+
     std::vector<FailureRecord> failures;
-    for (const WorkloadSpec &spec : specs) {
-        const Trace trace = traceFor(spec, opts);
-        const RunResult res =
-            Experiment::tryRunOne(spec, trace, opts.cfg, run_opts);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const WorkloadSpec &spec = specs[i];
+        const RunResult &res = outcomes[i * runs_per].result;
         std::cout << "workload " << spec.id << " ("
                   << (opts.cfg.memento.enabled ? "memento" : "baseline")
                   << ")";
@@ -254,8 +296,7 @@ cmdRun(const std::string &id, const CliOptions &opts)
         if (opts.digest) {
             // Paired run: an identical workload under an identical
             // configuration must reproduce the machine state exactly.
-            const RunResult again =
-                Experiment::tryRunOne(spec, trace, opts.cfg, run_opts);
+            const RunResult &again = outcomes[i * runs_per + 1].result;
             if (again.failed() || again.digest != res.digest) {
                 RunError err;
                 err.category = ErrorCategory::Internal;
@@ -301,25 +342,35 @@ cmdCompare(const std::string &id, const CliOptions &opts)
     RunOptions run_opts;
     run_opts.coldStart = opts.cold;
 
+    // Each workload's (baseline, memento, no-bypass) triple fans out
+    // as three tasks sharing one cached trace; the progress line fires
+    // as a workload's first task starts (serialized by the engine).
+    SweepOptions sweep_opts;
+    sweep_opts.jobs = opts.jobs;
+    sweep_opts.keepGoing = opts.keepGoing;
+    sweep_opts.onTaskStart = [](const SweepTask &task, std::size_t idx) {
+        if (idx % 3 == 0)
+            std::cerr << "  running " << task.spec.id << "...\n";
+    };
+    SweepEngine engine(sweep_opts);
+    const std::vector<ComparisonOutcome> outcomes =
+        compareSweep(specs, base_cfg, memento_cfg, run_opts, engine);
+
     TextTable t({"workload", "speedup", "traffic", "faults base->mem",
                  "alloc/free/page/bypass"});
     std::vector<FailureRecord> failures;
-    for (const WorkloadSpec &spec : specs) {
-        std::cerr << "  running " << spec.id << "...\n";
-        Comparison cmp;
-        try {
-            cmp = Experiment::compare(spec, base_cfg, memento_cfg,
-                                      run_opts);
-        } catch (const SimError &e) {
-            failures.push_back(
-                {spec.id, RunError{e.category(), e.what(), e.opIndex()}});
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const ComparisonOutcome &out = outcomes[i];
+        if (out.error) {
+            failures.push_back({specs[i].id, *out.error});
             if (!opts.keepGoing)
                 break;
             continue;
         }
+        const Comparison &cmp = out.cmp;
         Breakdown bd = computeBreakdown(cmp);
         t.newRow();
-        t.cell(spec.id);
+        t.cell(cmp.spec.id);
         t.cell(cmp.speedup(), 3);
         t.cell(percentStr(cmp.bandwidthReduction()));
         t.cell(std::to_string(cmp.base.pageFaults) + "->" +
