@@ -68,6 +68,52 @@ atomicMin(std::atomic<std::size_t> &target, std::size_t idx)
 
 } // namespace
 
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (jobs == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw != 0 ? hw : 1;
+    }
+    const std::size_t workers = std::min<std::size_t>(jobs, n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Round-robin seeding spreads adjacent indices over different
+    // workers (for sweeps: a workload's config variants overlap early,
+    // so shared-trace first touches coincide).
+    std::vector<TaskDeque> deques(workers);
+    for (std::size_t i = 0; i < n; ++i)
+        deques[i % workers].push(i);
+
+    auto worker_loop = [&](std::size_t me) {
+        std::size_t idx;
+        for (;;) {
+            if (deques[me].popFront(idx)) {
+                fn(idx);
+                continue;
+            }
+            bool stole = false;
+            for (std::size_t off = 1; off < workers && !stole; ++off)
+                stole = deques[(me + off) % workers].popBack(idx);
+            if (!stole)
+                return; // All deques drained; no tasks are ever added.
+            fn(idx);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        pool.emplace_back(worker_loop, w);
+    for (std::thread &t : pool)
+        t.join();
+}
+
 unsigned
 SweepEngine::effectiveJobs() const
 {
@@ -134,42 +180,7 @@ SweepEngine::run(const std::vector<SweepTask> &tasks)
             atomicMin(first_failure, idx);
     };
 
-    const std::size_t workers =
-        std::min<std::size_t>(effectiveJobs(), tasks.size());
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < tasks.size(); ++i)
-            run_task(i);
-        return outcomes;
-    }
-
-    // Round-robin seeding spreads each workload's config variants over
-    // different workers, so shared-trace first touches overlap early.
-    std::vector<TaskDeque> deques(workers);
-    for (std::size_t i = 0; i < tasks.size(); ++i)
-        deques[i % workers].push(i);
-
-    auto worker_loop = [&](std::size_t me) {
-        std::size_t idx;
-        for (;;) {
-            if (deques[me].popFront(idx)) {
-                run_task(idx);
-                continue;
-            }
-            bool stole = false;
-            for (std::size_t off = 1; off < workers && !stole; ++off)
-                stole = deques[(me + off) % workers].popBack(idx);
-            if (!stole)
-                return; // All deques drained; no tasks are ever added.
-            run_task(idx);
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w)
-        pool.emplace_back(worker_loop, w);
-    for (std::thread &t : pool)
-        t.join();
+    parallelFor(tasks.size(), effectiveJobs(), run_task);
     return outcomes;
 }
 

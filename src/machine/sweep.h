@@ -36,6 +36,23 @@
 
 namespace memento {
 
+/**
+ * Run @p fn(index) for every index in [0, n), fanned out over a
+ * work-stealing pool of @p jobs worker threads (0 = hardware
+ * concurrency; always capped at n). With one effective worker the
+ * calls run inline on the calling thread in index order — the exact
+ * serial semantics.
+ *
+ * This is the pool under SweepEngine, exposed for any embarrassingly
+ * parallel index space (the static analyzer's `check all` uses it
+ * directly). Each index runs exactly once. @p fn must not throw and
+ * must be safe to call concurrently on distinct indices; writing
+ * results into a pre-sized slot vector indexed by `index` keeps the
+ * caller's merge deterministic at any worker count.
+ */
+void parallelFor(std::size_t n, unsigned jobs,
+                 const std::function<void(std::size_t)> &fn);
+
 /** One unit of sweep work: a single workload run under one config. */
 struct SweepTask
 {

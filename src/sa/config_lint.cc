@@ -1,0 +1,203 @@
+#include "sa/config_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "sim/config_schema.h"
+#include "sim/logging.h"
+
+namespace memento {
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** memento.* keys that configure hardware the enable bit gates. */
+constexpr std::string_view kMementoHardwareKeys[] = {
+    "memento.bypass",    "memento.eager_prefetch",
+    "memento.mallacc",   "memento.objects_per_arena",
+    "memento.hot_latency", "memento.pool_refill",
+};
+
+bool
+isMementoHardwareKey(std::string_view key)
+{
+    for (const std::string_view k : kMementoHardwareKeys) {
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+lintConfigStream(std::istream &is, const std::string &subject,
+                 DiagReport &report)
+{
+    MachineConfig cfg = defaultConfig();
+    std::string line;
+    unsigned line_no = 0;
+    // key -> line of its latest valid assignment, in line order for the
+    // cross-key pass.
+    std::map<std::string, unsigned> last_set;
+    std::vector<std::pair<std::string, unsigned>> assignments;
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            report.add("config-parse", subject, line_no,
+                       "missing '=' (expected 'key = value')");
+            continue;
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty() || value.empty()) {
+            report.add("config-parse", subject, line_no,
+                       "empty key or value");
+            continue;
+        }
+
+        const ConfigKeyInfo *info = findConfigKey(key);
+        if (info == nullptr) {
+            const std::string suggestion = suggestConfigKey(key);
+            report.add("config-unknown-key", subject, line_no,
+                       detail::formatMsg(
+                           "unknown key '", key, "'",
+                           suggestion.empty()
+                               ? std::string()
+                               : "; did you mean '" + suggestion +
+                                     "'?"));
+            continue;
+        }
+
+        const auto [it, inserted] = last_set.emplace(key, line_no);
+        if (!inserted) {
+            report.add("config-duplicate-key", subject, line_no,
+                       detail::formatMsg("duplicate key '", key,
+                                         "' overrides line ", it->second,
+                                         " (last value wins)"));
+            it->second = line_no;
+        }
+
+        ConfigValue parsed;
+        std::string why;
+        switch (tryParseConfigValue(*info, value, parsed, why)) {
+          case ConfigParseStatus::BadValue:
+            report.add("config-bad-value", subject, line_no,
+                       detail::formatMsg(why, " for key '", key, "'"));
+            continue;
+          case ConfigParseStatus::OutOfRange:
+            report.add("config-out-of-range", subject, line_no,
+                       detail::formatMsg(why, " for key '", key, "'"));
+            continue;
+          case ConfigParseStatus::Ok:
+            break;
+        }
+        info->apply(cfg, parsed);
+        assignments.emplace_back(key, line_no);
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-key contradictions on the effective configuration.
+    // ------------------------------------------------------------------
+    const auto line_of = [&](std::string_view key) -> unsigned {
+        const auto it = last_set.find(std::string(key));
+        return it == last_set.end() ? 0 : it->second;
+    };
+    const bool touches_layout = line_of("layout.heap_base") ||
+                                line_of("layout.memento_region_start") ||
+                                line_of("layout.per_class_region_bytes");
+
+    if (touches_layout) {
+        const Addr mrs = cfg.layout.mementoRegionStart;
+        const std::uint64_t span =
+            cfg.layout.perClassRegionBytes * cfg.memento.numSizeClasses;
+        const Addr mre = mrs + span;
+        const unsigned at =
+            std::max({line_of("layout.heap_base"),
+                      line_of("layout.memento_region_start"),
+                      line_of("layout.per_class_region_bytes")});
+        if (mre <= mrs ||
+            span / cfg.memento.numSizeClasses !=
+                cfg.layout.perClassRegionBytes) {
+            report.add("config-region-overlap", subject, at,
+                       detail::formatMsg(
+                           "Memento region is inverted: MRE (MRS + ",
+                           cfg.memento.numSizeClasses, " x ",
+                           cfg.layout.perClassRegionBytes,
+                           " bytes) wraps below MRS 0x", std::hex, mrs));
+        } else if (cfg.layout.heapBase >= mrs &&
+                   cfg.layout.heapBase < mre) {
+            report.add("config-region-overlap", subject, at,
+                       detail::formatMsg(
+                           "heap base 0x", std::hex, cfg.layout.heapBase,
+                           " falls inside the Memento region [0x", mrs,
+                           ", 0x", mre, ")"));
+        } else if (cfg.layout.imageBase >= mrs &&
+                   cfg.layout.imageBase < mre) {
+            report.add("config-region-overlap", subject, at,
+                       detail::formatMsg(
+                           "image base 0x", std::hex,
+                           cfg.layout.imageBase,
+                           " falls inside the Memento region [0x", mrs,
+                           ", 0x", mre, ")"));
+        }
+    }
+
+    if (!cfg.memento.enabled) {
+        for (const auto &[key, at] : assignments) {
+            if (isMementoHardwareKey(key)) {
+                report.add("config-bypass-no-memento", subject, at,
+                           detail::formatMsg(
+                               "'", key, "' is set but memento.enabled "
+                               "is off; the key has no effect"));
+            }
+        }
+    }
+
+    if (cfg.check.interval != 0 && cfg.check.maxOps != 0 &&
+        cfg.check.interval > cfg.check.maxOps) {
+        report.add("config-check-conflict", subject,
+                   line_of("check.interval"),
+                   detail::formatMsg(
+                       "check.interval (", cfg.check.interval,
+                       ") exceeds the check.max_ops watchdog budget (",
+                       cfg.check.maxOps,
+                       "); the invariant checker can never fire"));
+    }
+}
+
+void
+lintConfigFile(const std::string &path, DiagReport &report)
+{
+    std::ifstream in(path);
+    if (!in) {
+        report.add("config-parse", path, Diag::kNoLocation,
+                   "cannot open file");
+        return;
+    }
+    lintConfigStream(in, path, report);
+}
+
+} // namespace memento

@@ -1,0 +1,211 @@
+#include "sa/diag.h"
+
+#include <ostream>
+
+#include "sim/logging.h"
+
+namespace memento {
+namespace {
+
+/** JSON string escaping (control chars, quotes, backslashes). */
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char *hex = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string_view
+severityName(DiagSeverity severity)
+{
+    switch (severity) {
+      case DiagSeverity::Note: return "note";
+      case DiagSeverity::Warning: return "warning";
+      case DiagSeverity::Error: return "error";
+    }
+    panic("bad diagnostic severity");
+}
+
+const std::vector<DiagRule> &
+allDiagRules()
+{
+    static const std::vector<DiagRule> rules = {
+        // Trace checker (abstract interpretation over shadow state).
+        {"trace-double-free", DiagSeverity::Error,
+         "Free of an object that was already freed"},
+        {"trace-free-unallocated", DiagSeverity::Error,
+         "Free of an object id that was never allocated"},
+        {"trace-use-after-free", DiagSeverity::Error,
+         "Load/Store to an object after it was freed"},
+        {"trace-use-unallocated", DiagSeverity::Error,
+         "Load/Store to an object id that was never allocated"},
+        {"trace-out-of-bounds", DiagSeverity::Error,
+         "Load/Store offset past the end of a live object"},
+        {"trace-duplicate-id", DiagSeverity::Error,
+         "Malloc reuses an object id that is still live"},
+        {"trace-size-class", DiagSeverity::Error,
+         "Allocation size has no size class (zero, or larger than the "
+         "per-class region so it cannot be HOT-routed)"},
+        {"trace-arena-oversubscription", DiagSeverity::Error,
+         "Live objects in one size class exceed the class's arena-region "
+         "capacity"},
+        {"trace-function-boundary", DiagSeverity::Error,
+         "Operations follow a FunctionEnd terminator (out-of-order "
+         "function boundary)"},
+        {"trace-truncated", DiagSeverity::Error,
+         "Op stream does not end with a FunctionEnd terminator"},
+        {"trace-leak", DiagSeverity::Warning,
+         "Objects still live when a stream ends without FunctionEnd"},
+        {"trace-parse", DiagSeverity::Error,
+         "Trace file is not parseable"},
+        // Config linter (schema validation + cross-key contradictions).
+        {"config-parse", DiagSeverity::Error,
+         "Line is not a 'key = value' assignment"},
+        {"config-unknown-key", DiagSeverity::Error,
+         "Key is not in the configuration schema"},
+        {"config-duplicate-key", DiagSeverity::Warning,
+         "Key assigned more than once (the last value wins)"},
+        {"config-bad-value", DiagSeverity::Error,
+         "Value does not parse as the key's type"},
+        {"config-out-of-range", DiagSeverity::Error,
+         "Value is outside the key's declared range"},
+        {"config-region-overlap", DiagSeverity::Error,
+         "Memento region [MRS, MRE) is inverted or overlaps the "
+         "heap/image layout"},
+        {"config-bypass-no-memento", DiagSeverity::Warning,
+         "Memento hardware keys set while memento.enabled is off"},
+        {"config-check-conflict", DiagSeverity::Warning,
+         "check.interval can never fire before the check.max_ops "
+         "watchdog"},
+    };
+    return rules;
+}
+
+const DiagRule *
+findDiagRule(std::string_view id)
+{
+    for (const DiagRule &rule : allDiagRules()) {
+        if (rule.id == id)
+            return &rule;
+    }
+    return nullptr;
+}
+
+bool
+DiagPolicy::suppressed(std::string_view rule_id) const
+{
+    return allowed.find(rule_id) != allowed.end();
+}
+
+DiagSeverity
+DiagPolicy::effective(DiagSeverity severity) const
+{
+    if (werror && severity == DiagSeverity::Warning)
+        return DiagSeverity::Error;
+    return severity;
+}
+
+void
+DiagReport::add(std::string_view rule_id, std::string subject,
+                std::uint64_t location, std::string message)
+{
+    const DiagRule *rule = findDiagRule(rule_id);
+    panic_if(rule == nullptr, "unregistered diagnostic rule '", rule_id,
+             "'");
+    diags_.push_back(Diag{rule->id, rule->severity, std::move(subject),
+                          location, std::move(message)});
+}
+
+void
+DiagReport::append(const DiagReport &other)
+{
+    diags_.insert(diags_.end(), other.diags_.begin(),
+                  other.diags_.end());
+}
+
+std::size_t
+DiagReport::errors(const DiagPolicy &policy) const
+{
+    std::size_t n = 0;
+    for (const Diag &d : diags_) {
+        if (!policy.suppressed(d.ruleId) &&
+            policy.effective(d.severity) == DiagSeverity::Error)
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+DiagReport::warnings(const DiagPolicy &policy) const
+{
+    std::size_t n = 0;
+    for (const Diag &d : diags_) {
+        if (!policy.suppressed(d.ruleId) &&
+            policy.effective(d.severity) == DiagSeverity::Warning)
+            ++n;
+    }
+    return n;
+}
+
+bool
+DiagReport::clean(const DiagPolicy &policy) const
+{
+    return errors(policy) == 0;
+}
+
+void
+DiagReport::printText(std::ostream &os, const DiagPolicy &policy) const
+{
+    for (const Diag &d : diags_) {
+        if (policy.suppressed(d.ruleId))
+            continue;
+        os << d.subject << ':';
+        if (d.hasLocation())
+            os << d.location << ':';
+        os << ' ' << severityName(policy.effective(d.severity)) << ": "
+           << d.message << " [" << d.ruleId << "]\n";
+    }
+}
+
+void
+DiagReport::printJson(std::ostream &os, const DiagPolicy &policy) const
+{
+    os << '[';
+    bool first = true;
+    for (const Diag &d : diags_) {
+        if (policy.suppressed(d.ruleId))
+            continue;
+        os << (first ? "" : ",") << "\n  {\"rule\": \""
+           << jsonEscape(d.ruleId) << "\", \"severity\": \""
+           << severityName(policy.effective(d.severity))
+           << "\", \"subject\": \"" << jsonEscape(d.subject) << "\", ";
+        if (d.hasLocation())
+            os << "\"location\": " << d.location << ", ";
+        os << "\"message\": \"" << jsonEscape(d.message) << "\"}";
+        first = false;
+    }
+    os << (first ? "]" : "\n]");
+}
+
+} // namespace memento

@@ -1,11 +1,12 @@
 #include "sim/config_file.h"
 
-#include <algorithm>
 #include <cctype>
 #include <fstream>
-#include <sstream>
+#include <map>
 
+#include "sim/config_schema.h"
 #include "sim/error.h"
+#include "sim/logging.h"
 
 namespace memento {
 namespace {
@@ -21,150 +22,22 @@ trim(const std::string &s)
     return s.substr(b, e - b);
 }
 
-std::uint64_t
-parseInt(const std::string &key, const std::string &value)
-{
-    std::string v = value;
-    std::uint64_t scale = 1;
-    if (!v.empty()) {
-        switch (std::tolower(static_cast<unsigned char>(v.back()))) {
-          case 'k': scale = 1ull << 10; v.pop_back(); break;
-          case 'm': scale = 1ull << 20; v.pop_back(); break;
-          case 'g': scale = 1ull << 30; v.pop_back(); break;
-          default: break;
-        }
-    }
-    std::size_t pos = 0;
-    std::uint64_t parsed = 0;
-    try {
-        parsed = std::stoull(v, &pos);
-    } catch (...) {
-        sim_error(ErrorCategory::Config, "config: bad integer for ", key,
-                  ": '", value, "'");
-    }
-    sim_error_if(pos != v.size(), ErrorCategory::Config,
-                 "config: bad integer for ", key, ": '", value, "'");
-    return parsed * scale;
-}
-
-double
-parseDouble(const std::string &key, const std::string &value)
-{
-    std::size_t pos = 0;
-    double parsed = 0;
-    try {
-        parsed = std::stod(value, &pos);
-    } catch (...) {
-        sim_error(ErrorCategory::Config, "config: bad number for ", key,
-                  ": '", value, "'");
-    }
-    sim_error_if(pos != value.size(), ErrorCategory::Config,
-                 "config: bad number for ", key, ": '", value, "'");
-    return parsed;
-}
-
-bool
-parseBool(const std::string &key, const std::string &value)
-{
-    std::string v = value;
-    std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
-        return static_cast<char>(std::tolower(c));
-    });
-    if (v == "true" || v == "on" || v == "1" || v == "yes")
-        return true;
-    if (v == "false" || v == "off" || v == "0" || v == "no")
-        return false;
-    sim_error(ErrorCategory::Config, "config: bad boolean for ", key,
-              ": '", value, "'");
-}
-
 } // namespace
 
 void
 applyConfigOption(const std::string &key, const std::string &value,
                   MachineConfig &cfg)
 {
-    auto u64 = [&] { return parseInt(key, value); };
-    auto u32 = [&] { return static_cast<unsigned>(parseInt(key, value)); };
-    auto f64 = [&] { return parseDouble(key, value); };
-    auto b = [&] { return parseBool(key, value); };
-
-    // Core.
-    if (key == "core.freq_ghz") cfg.core.freqGhz = f64();
-    else if (key == "core.base_ipc") cfg.core.baseIpc = f64();
-    else if (key == "core.load_hidden")
-        cfg.core.memLatencyHiddenFraction = f64();
-    else if (key == "core.store_hidden")
-        cfg.core.storeLatencyHiddenFraction = f64();
-    // Caches.
-    else if (key == "l1d.size") cfg.l1d.sizeBytes = u64();
-    else if (key == "l1d.ways") cfg.l1d.ways = u32();
-    else if (key == "l1d.latency") cfg.l1d.latency = u64();
-    else if (key == "l1i.size") cfg.l1i.sizeBytes = u64();
-    else if (key == "l1i.ways") cfg.l1i.ways = u32();
-    else if (key == "l1i.latency") cfg.l1i.latency = u64();
-    else if (key == "l2.size") cfg.l2.sizeBytes = u64();
-    else if (key == "l2.ways") cfg.l2.ways = u32();
-    else if (key == "l2.latency") cfg.l2.latency = u64();
-    else if (key == "llc.size") cfg.llc.sizeBytes = u64();
-    else if (key == "llc.ways") cfg.llc.ways = u32();
-    else if (key == "llc.latency") cfg.llc.latency = u64();
-    // TLBs.
-    else if (key == "tlb.l1_entries") cfg.l1Tlb.entries = u32();
-    else if (key == "tlb.l1_ways") cfg.l1Tlb.ways = u32();
-    else if (key == "tlb.l2_entries") cfg.l2Tlb.entries = u32();
-    else if (key == "tlb.l2_ways") cfg.l2Tlb.ways = u32();
-    // DRAM.
-    else if (key == "dram.size") cfg.dram.sizeBytes = u64();
-    else if (key == "dram.banks") cfg.dram.banks = u32();
-    else if (key == "dram.hit_latency") cfg.dram.hitLatency = u64();
-    else if (key == "dram.miss_latency") cfg.dram.missLatency = u64();
-    // Kernel.
-    else if (key == "kernel.fault_instructions")
-        cfg.kernel.faultInstructions = u64();
-    else if (key == "kernel.mmap_instructions")
-        cfg.kernel.mmapInstructions = u64();
-    else if (key == "kernel.mode_switch_cycles")
-        cfg.kernel.modeSwitchCycles = u64();
-    else if (key == "kernel.map_populate") cfg.kernel.mapPopulate = b();
-    else if (key == "kernel.thp") cfg.kernel.transparentHugePages = b();
-    // Memento.
-    else if (key == "memento.enabled") cfg.memento.enabled = b();
-    else if (key == "memento.bypass") cfg.memento.bypassEnabled = b();
-    else if (key == "memento.eager_prefetch")
-        cfg.memento.eagerArenaPrefetch = b();
-    else if (key == "memento.objects_per_arena")
-        cfg.memento.objectsPerArena = u32();
-    else if (key == "memento.hot_latency")
-        cfg.memento.hotLatency = u64();
-    else if (key == "memento.pool_refill")
-        cfg.memento.pagePoolRefill = u32();
-    else if (key == "memento.mallacc") cfg.memento.mallaccMode = b();
-    // Runtime tuning.
-    else if (key == "tuning.pymalloc_arena")
-        cfg.tuning.pymallocArenaBytes = u64();
-    else if (key == "tuning.jemalloc_chunk")
-        cfg.tuning.jemallocChunkBytes = u64();
-    else if (key == "tuning.go_gc_trigger")
-        cfg.tuning.goGcTriggerBytes = u64();
-    // Validation / watchdog.
-    else if (key == "check.interval") cfg.check.interval = u64();
-    else if (key == "check.max_ops") cfg.check.maxOps = u64();
-    else if (key == "check.max_cycles") cfg.check.maxCycles = u64();
-    // Deterministic fault injection.
-    else if (key == "inject.pool_exhaust_at")
-        cfg.inject.poolExhaustAtPage = u64();
-    else if (key == "inject.mmap_fail_at") cfg.inject.mmapFailAt = u64();
-    else if (key == "inject.trace_truncate_at")
-        cfg.inject.traceTruncateAt = u64();
-    else if (key == "inject.trace_corrupt_at")
-        cfg.inject.traceCorruptAt = u64();
-    else if (key == "inject.arena_bit_flip_at")
-        cfg.inject.arenaBitFlipAt = u64();
-    else if (key == "inject.workload") cfg.inject.workload = value;
-    else
+    const ConfigKeyInfo *info = findConfigKey(key);
+    if (info == nullptr) {
+        const std::string suggestion = suggestConfigKey(key);
         sim_error(ErrorCategory::Config, "config: unknown key '", key,
-                  "'");
+                  "'",
+                  suggestion.empty()
+                      ? std::string()
+                      : "; did you mean '" + suggestion + "'?");
+    }
+    info->apply(cfg, parseConfigValue(*info, key, value));
 }
 
 void
@@ -172,6 +45,7 @@ applyConfigStream(std::istream &is, MachineConfig &cfg)
 {
     std::string line;
     unsigned line_no = 0;
+    std::map<std::string, unsigned> last_set; // key -> latest assignment line
     while (std::getline(is, line)) {
         ++line_no;
         const std::size_t hash = line.find('#');
@@ -187,6 +61,12 @@ applyConfigStream(std::istream &is, MachineConfig &cfg)
         const std::string value = trim(line.substr(eq + 1));
         sim_error_if(key.empty() || value.empty(), ErrorCategory::Config,
                      "config: empty key or value on line ", line_no);
+        const auto [it, inserted] = last_set.emplace(key, line_no);
+        if (!inserted) {
+            warn("config: duplicate key '", key, "' on line ", line_no,
+                 " overrides line ", it->second, " (last value wins)");
+            it->second = line_no;
+        }
         applyConfigOption(key, value, cfg);
     }
 }

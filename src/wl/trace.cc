@@ -54,7 +54,7 @@ writeTrace(const Trace &trace, std::ostream &os)
 }
 
 Trace
-readTrace(std::istream &is)
+readTraceOps(std::istream &is)
 {
     Trace trace;
     std::string line;
@@ -67,11 +67,21 @@ readTrace(std::istream &is)
         std::string name;
         TraceOp op;
         ls >> name >> op.value >> op.objId >> op.offset;
-        sim_error_if(ls.fail() || !opFromName(name, op.kind),
-                     ErrorCategory::Trace, "trace parse error at line ",
-                     line_no);
+        if (ls.fail() || !opFromName(name, op.kind)) {
+            throw SimError(ErrorCategory::Trace,
+                           detail::formatMsg("trace parse error at line ",
+                                             line_no),
+                           line_no);
+        }
         trace.push_back(op);
     }
+    return trace;
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    Trace trace = readTraceOps(is);
     // Serialized traces record complete invocations; a missing
     // FunctionEnd terminator means the file was truncated.
     sim_error_if(trace.empty() ||

@@ -58,6 +58,15 @@ void writeTrace(const Trace &trace, std::ostream &os);
  */
 Trace readTrace(std::istream &is);
 
+/**
+ * Parse records only, without readTrace()'s completeness check (a
+ * recorded invocation must end in FunctionEnd). The static trace
+ * checker uses this so a truncated file is diagnosed with proper rule
+ * ids instead of rejected at parse time. Unparseable lines throw
+ * SimError(Trace) carrying the 1-based line number in opIndex().
+ */
+Trace readTraceOps(std::istream &is);
+
 /** Count operations of @p kind in @p trace. */
 std::uint64_t countOps(const Trace &trace, OpKind kind);
 

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Corpus sweep for the static trace checker: every trace the project
+ * can synthesize — the 23 built-in paper workloads and the 200 seeded
+ * fuzz specs — must pass `check` with zero findings, under both the
+ * default policy and the exact policy `check` derives from the
+ * default machine configuration. This is the "no false positives"
+ * contract that lets CI run `check all --werror`.
+ *
+ * The built-in sweep also replays through parallelFor at two worker
+ * counts and asserts the merged, rendered report is byte-identical —
+ * the determinism property the CLI's `check all --jobs N` relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "machine/sweep.h"
+#include "sa/diag.h"
+#include "sa/trace_check.h"
+#include "test_util.h"
+#include "wl/trace_generator.h"
+#include "wl/workloads.h"
+
+namespace memento {
+namespace {
+
+constexpr int kShards = 8;
+constexpr int kSeedsPerShard = 25; // Mirrors the trace fuzzer's corpus.
+
+std::string
+renderText(const DiagReport &report)
+{
+    std::ostringstream os;
+    report.printText(os);
+    return os.str();
+}
+
+TEST(CheckCorpus, AllBuiltinWorkloadsCheckClean)
+{
+    const TraceCheckPolicy policy =
+        TraceCheckPolicy::fromConfig(defaultConfig());
+    for (const WorkloadSpec &spec : allWorkloads()) {
+        const Trace trace = TraceGenerator(spec).generate();
+        DiagReport report;
+        checkTrace(trace, policy, spec.id, report);
+        EXPECT_TRUE(report.empty())
+            << spec.id << ":\n" << renderText(report);
+    }
+}
+
+class CheckFuzzCorpus : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CheckFuzzCorpus, FuzzTracesCheckClean)
+{
+    const int shard = GetParam();
+    const TraceCheckPolicy policy; // Paper defaults.
+    for (int s = 0; s < kSeedsPerShard; ++s) {
+        const std::uint64_t seed =
+            static_cast<std::uint64_t>(shard) * kSeedsPerShard + s;
+        const WorkloadSpec spec = test::randomSpec(seed);
+        const Trace trace = TraceGenerator(spec).generate();
+        DiagReport report;
+        checkTrace(trace, policy, spec.id, report);
+        EXPECT_TRUE(report.empty())
+            << spec.id << ":\n" << renderText(report);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, CheckFuzzCorpus,
+                         ::testing::Range(0, kShards));
+
+/** The `check all` recipe at a given worker count, rendered. */
+std::string
+renderSweep(const std::vector<WorkloadSpec> &specs, unsigned jobs)
+{
+    const TraceCheckPolicy policy =
+        TraceCheckPolicy::fromConfig(defaultConfig());
+    std::vector<DiagReport> slots(specs.size());
+    parallelFor(specs.size(), jobs, [&](std::size_t i) {
+        // Poison one workload so the merged report is non-trivial and
+        // ordering actually matters.
+        Trace trace = TraceGenerator(specs[i]).generate();
+        if (i % 5 == 0 && !trace.empty())
+            trace.pop_back(); // Drop FunctionEnd: truncation + leak.
+        checkTrace(trace, policy, specs[i].id, slots[i]);
+    });
+    DiagReport merged;
+    for (const DiagReport &slot : slots)
+        merged.append(slot);
+    std::ostringstream os;
+    merged.printText(os);
+    os << merged.errors() << " error(s), " << merged.warnings()
+       << " warning(s)\n";
+    return os.str();
+}
+
+TEST(CheckCorpus, ParallelSweepIsByteIdenticalAtAnyJobsLevel)
+{
+    const std::vector<WorkloadSpec> specs = allWorkloads();
+    const std::string serial = renderSweep(specs, 1);
+    EXPECT_FALSE(serial.empty());
+    // The poisoned workloads must actually report, or the test proves
+    // nothing about merge ordering.
+    EXPECT_NE(serial.find("trace-truncated"), std::string::npos);
+    EXPECT_EQ(serial, renderSweep(specs, 2));
+    EXPECT_EQ(serial, renderSweep(specs, 4));
+    EXPECT_EQ(serial, renderSweep(specs, 16));
+}
+
+} // namespace
+} // namespace memento

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Differential testing of the static trace checker against the
+ * dynamic invariant machinery: for every inject.* fault class that
+ * corrupts the *trace* (truncation, record corruption), the same
+ * workload at the same seed must (a) fail dynamically with a
+ * structured SimError and (b) be flagged statically by `check` on the
+ * identically-faulted trace — with the op indices in agreement.
+ *
+ * Machine-state faults (pool exhaustion, mmap failure, arena bit
+ * flips) have no trace image: the op stream they run is pristine, so
+ * they are dynamic-only by construction and deliberately absent here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "machine/experiment.h"
+#include "sa/diag.h"
+#include "sa/trace_check.h"
+#include "test_util.h"
+#include "wl/distributions.h"
+#include "wl/trace_generator.h"
+#include "wl/workloads.h"
+
+namespace memento {
+namespace {
+
+/** Small, fast workload; mirrors the fault-injection test's shape. */
+WorkloadSpec
+diffSpec(Language lang)
+{
+    WorkloadSpec spec;
+    spec.id = "diff";
+    spec.lang = lang;
+    spec.numAllocs = 400;
+    spec.sizeDist = SizeDistribution({SizeBucket{1.0, 16, 128}});
+    spec.largeDist = SizeDistribution({SizeBucket{1.0, 520, 2048}});
+    spec.lifetime = {.pShort = 0.8, .meanShortDistance = 4.0,
+                     .pLongFreed = 0.0, .meanLongDistance = 100.0};
+    spec.pLarge = 0.01;
+    spec.computePerAlloc = 50;
+    spec.staticWsBytes = 64 << 10;
+    spec.rpcBytes = 1024;
+    spec.seed = 42;
+    return spec;
+}
+
+std::string
+renderText(const DiagReport &report)
+{
+    std::ostringstream os;
+    report.printText(os);
+    return os.str();
+}
+
+class CheckDifferential : public ::testing::TestWithParam<Language>
+{
+};
+
+TEST_P(CheckDifferential, CorruptedRecordCaughtBothWays)
+{
+    const WorkloadSpec spec = diffSpec(GetParam());
+    const Trace trace = TraceGenerator(spec).generate();
+
+    MachineConfig cfg = GetParam() == Language::Python
+                            ? test::smallMementoConfig()
+                            : test::smallConfig();
+    cfg.inject.workload = spec.id;
+    cfg.inject.traceCorruptAt = 20;
+    cfg.check.interval = 64;
+
+    // Dynamic: the executor trips over the corrupt record mid-run.
+    const RunResult dynamic = Experiment::tryRunOne(spec, trace, cfg);
+    ASSERT_TRUE(dynamic.failed());
+    ASSERT_TRUE(dynamic.error->hasOpIndex()) << dynamic.error->message;
+    EXPECT_EQ(dynamic.error->opIndex, 19u) << dynamic.error->message;
+
+    // Static: the identically-faulted trace is flagged before any
+    // machine is built, at the same op.
+    const Trace faulted = applyTraceFaultPlan(trace, cfg.inject, spec.id);
+    DiagReport report;
+    checkTrace(faulted, TraceCheckPolicy::fromConfig(cfg), spec.id,
+               report);
+    ASSERT_FALSE(report.clean()) << "static checker missed the fault";
+    const Diag &first = report.diags().front();
+    EXPECT_EQ(first.ruleId, "trace-free-unallocated") << first.message;
+    EXPECT_EQ(first.location, dynamic.error->opIndex) << first.message;
+}
+
+TEST_P(CheckDifferential, TruncatedTraceCaughtBothWays)
+{
+    const WorkloadSpec spec = diffSpec(GetParam());
+    const Trace trace = TraceGenerator(spec).generate();
+
+    MachineConfig cfg = GetParam() == Language::Python
+                            ? test::smallMementoConfig()
+                            : test::smallConfig();
+    cfg.inject.workload = spec.id;
+    cfg.inject.traceTruncateAt = 50;
+    cfg.check.interval = 64;
+
+    const RunResult dynamic = Experiment::tryRunOne(spec, trace, cfg);
+    ASSERT_TRUE(dynamic.failed());
+    EXPECT_EQ(dynamic.error->category, ErrorCategory::Trace)
+        << dynamic.error->message;
+    EXPECT_NE(dynamic.error->message.find("truncated at op 50"),
+              std::string::npos)
+        << dynamic.error->message;
+
+    const Trace faulted = applyTraceFaultPlan(trace, cfg.inject, spec.id);
+    ASSERT_EQ(faulted.size(), 50u);
+    DiagReport report;
+    checkTrace(faulted, TraceCheckPolicy::fromConfig(cfg), spec.id,
+               report);
+    ASSERT_FALSE(report.clean()) << "static checker missed the fault";
+    const Diag &first = report.diags().front();
+    EXPECT_EQ(first.ruleId, "trace-truncated") << first.message;
+    EXPECT_EQ(first.location, 50u) << first.message;
+}
+
+TEST_P(CheckDifferential, PlanForOtherWorkloadLeavesTraceClean)
+{
+    const WorkloadSpec spec = diffSpec(GetParam());
+    const Trace trace = TraceGenerator(spec).generate();
+
+    FaultPlan plan;
+    plan.workload = "someone-else";
+    plan.traceCorruptAt = 20;
+    plan.traceTruncateAt = 50;
+
+    const Trace same = applyTraceFaultPlan(trace, plan, spec.id);
+    EXPECT_EQ(same.size(), trace.size());
+    DiagReport report;
+    checkTrace(same, TraceCheckPolicy{}, spec.id, report);
+    EXPECT_TRUE(report.empty()) << renderText(report);
+}
+
+INSTANTIATE_TEST_SUITE_P(Langs, CheckDifferential,
+                         ::testing::Values(Language::Python,
+                                           Language::Cpp,
+                                           Language::Golang));
+
+} // namespace
+} // namespace memento

@@ -37,66 +37,7 @@ namespace {
 constexpr int kShards = 8;
 constexpr int kSeedsPerShard = 25; // 8 x 25 = 200 fuzz cases.
 
-/** An 8-byte-granule size range within the small-object span. */
-SizeBucket
-randomSmallBucket(Rng &rng)
-{
-    const std::uint64_t lo = 8 * rng.nextRange(1, 32);       // 8..256
-    const std::uint64_t hi = lo + 8 * rng.nextRange(0, 32);  // <= 512
-    return {rng.nextRange(1, 10) / 1.0, lo, std::min<std::uint64_t>(hi, 512)};
-}
-
-/**
- * A random but structurally valid workload spec. Every stochastic
- * parameter flows from @p seed alone, so a failing case replays
- * exactly from its seed.
- */
-WorkloadSpec
-randomSpec(std::uint64_t seed)
-{
-    Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x2545F4914F6CDD1Dull);
-    WorkloadSpec spec;
-    spec.id = "fuzz-" + std::to_string(seed);
-    spec.description = "property fuzz case";
-    spec.seed = seed + 1;
-
-    const Language langs[] = {Language::Python, Language::Cpp,
-                              Language::Golang};
-    spec.lang = langs[rng.nextBelow(3)];
-    spec.domain = Domain::Function;
-
-    spec.numAllocs = rng.nextRange(40, 220);
-
-    std::vector<SizeBucket> buckets;
-    const unsigned nbuckets = 1 + rng.nextBelow(3);
-    for (unsigned b = 0; b < nbuckets; ++b)
-        buckets.push_back(randomSmallBucket(rng));
-    spec.sizeDist = SizeDistribution(buckets);
-
-    spec.lifetime.pShort = 0.3 + 0.65 * rng.nextDouble();
-    spec.lifetime.meanShortDistance = 1.0 + 15.0 * rng.nextDouble();
-    spec.lifetime.pLongFreed = 0.3 * rng.nextDouble();
-    spec.lifetime.meanLongDistance = 50.0 + 750.0 * rng.nextDouble();
-
-    spec.pLarge = 0.1 * rng.nextDouble();
-    spec.largeDist =
-        SizeDistribution({{1.0, 1 << 10, 32 << 10}});
-    spec.pLargeShort = rng.nextDouble();
-
-    spec.computePerAlloc = rng.nextRange(0, 300);
-    spec.touchStores = rng.nextBelow(4);
-    spec.touchLoads = rng.nextBelow(4);
-    spec.staticWsBytes = 4096 * rng.nextRange(1, 16);
-    spec.staticAccesses = rng.nextBelow(4);
-    spec.rpcBytes = 1024 * rng.nextBelow(8);
-
-    if (rng.nextBool(0.3)) {
-        spec.burstEvery = rng.nextRange(20, 100);
-        spec.burstBytes = 1024 * rng.nextRange(1, 64);
-        spec.burstObjSize = 8 * rng.nextRange(8, 256);
-    }
-    return spec;
-}
+using test::randomSpec; // Shared with the static-analysis corpus test.
 
 /** Structural self-consistency of a synthesized trace. */
 void

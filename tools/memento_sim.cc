@@ -15,6 +15,21 @@
  *       Synthesize the workload's operation trace into <file>
  *       (replayable with run --trace).
  *
+ *   memento_sim check <workload>|all [--trace FILE] [options]
+ *       Static pre-flight analysis: abstract-interpret the workload's
+ *       trace (or a recorded trace file) over shadow allocation state
+ *       only — no caches, no DRAM, no cycle ledger — and report every
+ *       memory-discipline violation with a rule id, severity, and the
+ *       exact op index. ~100x cheaper than run; `check all` fans out
+ *       over the work-stealing pool with byte-identical output at any
+ *       --jobs level. Exits non-zero when any error remains.
+ *
+ *   memento_sim lint-config <file> [options]
+ *       Validate a `key = value` config file against the declared
+ *       schema: unknown keys (with "did you mean" suggestions),
+ *       duplicates, malformed or out-of-range values, and cross-key
+ *       contradictions. Exits non-zero when any error remains.
+ *
  * Options:
  *   --config FILE     apply `key = value` lines (see sim/config_file.h)
  *   --set key=value   single override (repeatable, applied after file)
@@ -29,6 +44,10 @@
  *   --jobs N          run the sweep on N worker threads (default: the
  *                     hardware concurrency). Output, digests, and the
  *                     failure report are byte-identical at any N.
+ *   --json            render check / lint-config findings as a JSON
+ *                     array instead of sanitizer-style text
+ *   --allow RULE      suppress findings of a rule id (repeatable)
+ *   --werror          treat analysis warnings as errors
  *
  * A failing run (out of memory, bad trace, corruption detected by the
  * invariant checker, watchdog timeout) raises SimError; without
@@ -54,6 +73,9 @@
 #include "machine/experiment.h"
 #include "machine/machine.h"
 #include "machine/sweep.h"
+#include "sa/config_lint.h"
+#include "sa/diag.h"
+#include "sa/trace_check.h"
 #include "sim/config_file.h"
 #include "sim/error.h"
 #include "sim/logging.h"
@@ -72,8 +94,10 @@ struct CliOptions
     bool dumpStats = false;
     bool keepGoing = false;
     bool digest = false;
+    bool json = false;
     unsigned jobs = 0; ///< Sweep worker threads; 0 = hw concurrency.
     std::string traceFile;
+    DiagPolicy diagPolicy; ///< --allow / --werror (check, lint-config).
 };
 
 /** One failed run, kept for the end-of-sweep report. */
@@ -108,9 +132,11 @@ usage()
            "  run <workload> [opts]     run one configuration\n"
            "  compare <workload>|all    paired baseline vs Memento\n"
            "  trace <workload> <file>   write the workload's trace\n"
+           "  check <workload>|all      static trace analysis (no sim)\n"
+           "  lint-config <file>        validate a config file\n"
            "options: --config FILE, --set key=value, --memento, --cold,\n"
            "         --trace FILE, --stats, --keep-going, --digest,\n"
-           "         --jobs N\n";
+           "         --jobs N, --json, --allow RULE, --werror\n";
 }
 
 CliOptions
@@ -152,6 +178,16 @@ parseOptions(const std::vector<std::string> &args, std::size_t from)
             opts.jobs = static_cast<unsigned>(n);
         } else if (arg == "--trace") {
             opts.traceFile = next();
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--werror") {
+            opts.diagPolicy.werror = true;
+        } else if (arg == "--allow") {
+            const std::string &rule = next();
+            fatal_if(findDiagRule(rule) == nullptr,
+                     "--allow: unknown rule '", rule,
+                     "' (see the rule table in README.md)");
+            opts.diagPolicy.allowed.insert(rule);
         } else {
             fatal("unknown option ", arg);
         }
@@ -388,6 +424,75 @@ cmdCompare(const std::string &id, const CliOptions &opts)
     return 0;
 }
 
+/** Render a finished report and map it to an exit status. */
+int
+finishAnalysis(const DiagReport &report, const CliOptions &opts,
+               const std::string &what)
+{
+    if (opts.json) {
+        report.printJson(std::cout, opts.diagPolicy);
+        std::cout << "\n";
+    } else {
+        report.printText(std::cout, opts.diagPolicy);
+        std::cout << what << ": " << report.errors(opts.diagPolicy)
+                  << " error(s), " << report.warnings(opts.diagPolicy)
+                  << " warning(s)\n";
+    }
+    return report.clean(opts.diagPolicy) ? 0 : 1;
+}
+
+int
+cmdCheck(const std::string &id, const CliOptions &opts)
+{
+    std::vector<WorkloadSpec> specs;
+    if (id == "all") {
+        fatal_if(!opts.traceFile.empty(),
+                 "--trace checks one workload, not 'all'");
+        specs = allWorkloads();
+    } else {
+        specs.push_back(workloadById(id));
+    }
+
+    const TraceCheckPolicy policy = TraceCheckPolicy::fromConfig(opts.cfg);
+
+    // One slot per workload, filled by the work-stealing pool and
+    // merged in workload order — the same determinism recipe as the
+    // sweep engine, so output is byte-identical at any --jobs level.
+    std::vector<DiagReport> slots(specs.size());
+    parallelFor(specs.size(), opts.jobs, [&](std::size_t i) {
+        const WorkloadSpec &spec = specs[i];
+        DiagReport &rep = slots[i];
+        if (!opts.traceFile.empty()) {
+            std::ifstream in(opts.traceFile);
+            if (!in) {
+                rep.add("trace-parse", opts.traceFile,
+                        Diag::kNoLocation, "cannot open trace file");
+                return;
+            }
+            checkTraceStream(in, policy, opts.traceFile, rep);
+            return;
+        }
+        Trace trace = TraceGenerator(spec).generate();
+        trace = applyTraceFaultPlan(trace, opts.cfg.inject, spec.id);
+        checkTrace(trace, policy, spec.id, rep);
+    });
+
+    DiagReport report;
+    for (const DiagReport &slot : slots)
+        report.append(slot);
+    return finishAnalysis(report, opts,
+                          "checked " + std::to_string(specs.size()) +
+                              " trace(s)");
+}
+
+int
+cmdLintConfig(const std::string &path, const CliOptions &opts)
+{
+    DiagReport report;
+    lintConfigFile(path, report);
+    return finishAnalysis(report, opts, "linted " + path);
+}
+
 int
 cmdTrace(const std::string &id, const std::string &path)
 {
@@ -420,6 +525,10 @@ main(int argc, char **argv)
             return cmdCompare(args[1], parseOptions(args, 2));
         if (cmd == "trace" && args.size() >= 3)
             return cmdTrace(args[1], args[2]);
+        if (cmd == "check" && args.size() >= 2)
+            return cmdCheck(args[1], parseOptions(args, 2));
+        if (cmd == "lint-config" && args.size() >= 2)
+            return cmdLintConfig(args[1], parseOptions(args, 2));
     } catch (const SimError &e) {
         std::cerr << "memento_sim: error ("
                   << errorCategoryName(e.category()) << "): " << e.what()
