@@ -1,0 +1,227 @@
+#include "bench/bench_harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+
+#include "machine/function_executor.h"
+#include "machine/machine.h"
+#include "machine/sweep.h"
+#include "sim/json.h"
+#include "val/digest.h"
+#include "wl/trace_generator.h"
+#include "wl/workloads.h"
+
+#ifndef MEMENTO_BUILD_FLAGS
+#define MEMENTO_BUILD_FLAGS "unknown"
+#endif
+
+namespace memento {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Commit being benchmarked, or "unknown" outside a git checkout. */
+std::string
+gitSha()
+{
+    FILE *pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+    if (!pipe)
+        return "unknown";
+    char buf[128];
+    std::string out;
+    if (std::fgets(buf, sizeof buf, pipe))
+        out = buf;
+    ::pclose(pipe);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    if (out.size() < 7 ||
+        out.find_first_not_of("0123456789abcdef") != std::string::npos)
+        return "unknown";
+    return out;
+}
+
+/** q-th percentile (nearest-rank on the sorted samples). */
+double
+percentile(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const auto idx = static_cast<std::size_t>(q * (samples.size() - 1));
+    return samples[idx];
+}
+
+WorkloadBench
+benchWorkload(const WorkloadSpec &spec, const Trace &trace,
+              const BenchOptions &opts)
+{
+    WorkloadBench wb;
+    wb.id = spec.id;
+    wb.traceOps = trace.size();
+
+    // Timed repetitions: fresh machine each time, clock only around
+    // the replay itself (machine construction and process set-up are
+    // the sweep's fixed costs, not the per-op path under test).
+    std::vector<double> opsPerSec;
+    for (unsigned r = 0; r < opts.repeats; ++r) {
+        Machine machine(opts.cfg);
+        machine.createProcess(spec);
+        FunctionExecutor executor(machine);
+        const Cycles before = machine.cycleLedger().total();
+        const auto start = Clock::now();
+        executor.run(spec, trace);
+        const double elapsed = secondsSince(start);
+        if (elapsed > 0.0)
+            opsPerSec.push_back(static_cast<double>(trace.size()) /
+                                elapsed);
+        if (r == 0) {
+            wb.cycles = machine.cycleLedger().total() - before;
+            wb.digest = digestMachine(machine);
+        }
+    }
+    std::sort(opsPerSec.begin(), opsPerSec.end());
+    if (!opsPerSec.empty())
+        wb.opsPerSec = opsPerSec[opsPerSec.size() / 2];
+
+    // Chunked pass: per-op latency samples at ~4 Ki-op granularity
+    // (fine enough to expose slow phases, coarse enough that the clock
+    // reads do not dominate what they measure).
+    constexpr std::size_t kChunkOps = 4096;
+    std::vector<double> perOpNs;
+    Machine machine(opts.cfg);
+    machine.createProcess(spec);
+    FunctionExecutor executor(machine);
+    for (std::size_t from = 0; from < trace.size(); from += kChunkOps) {
+        const std::size_t to = std::min(from + kChunkOps, trace.size());
+        const auto start = Clock::now();
+        executor.runRange(spec, trace, from, to);
+        const double elapsed = secondsSince(start);
+        perOpNs.push_back(elapsed * 1e9 /
+                          static_cast<double>(to - from));
+    }
+    wb.p50OpNs = percentile(perOpNs, 0.50);
+    wb.p99OpNs = percentile(perOpNs, 0.99);
+    return wb;
+}
+
+} // namespace
+
+BenchReport
+runBench(const BenchOptions &opts)
+{
+    std::vector<WorkloadSpec> specs = allWorkloads();
+    if (opts.smoke)
+        specs.resize(std::min<std::size_t>(specs.size(), 3));
+
+    BenchReport report;
+    report.repeats = opts.repeats;
+    report.smoke = opts.smoke;
+
+    // Synthesize every trace up front (untimed): the bench measures
+    // replay, and this is also what sweeps do via their TraceCache.
+    std::vector<Trace> traces;
+    traces.reserve(specs.size());
+    for (const WorkloadSpec &spec : specs)
+        traces.push_back(TraceGenerator(spec).generate());
+
+    // Phase 1: per-workload measurements plus the serial sweep time.
+    const auto serial_start = Clock::now();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        WorkloadBench wb = benchWorkload(specs[i], traces[i], opts);
+        report.totalOps += wb.traceOps;
+        report.totalCycles += wb.cycles;
+        report.workloads.push_back(std::move(wb));
+    }
+    // One replay per workload is the sweep-comparable serial time; the
+    // measurement loop above ran repeats + 1 replays per workload.
+    report.jobs1WallSec =
+        secondsSince(serial_start) /
+        static_cast<double>(opts.repeats + 1);
+    if (report.jobs1WallSec > 0.0)
+        report.aggregateOpsPerSec =
+            static_cast<double>(report.totalOps) / report.jobs1WallSec;
+
+    // Phase 2: the same sweep through the work-stealing engine.
+    std::vector<SweepTask> tasks;
+    tasks.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        tasks.push_back({specs[i], opts.cfg, RunOptions{},
+                         std::make_shared<const Trace>(traces[i])});
+    SweepOptions sweep_opts;
+    sweep_opts.jobs = opts.jobs;
+    SweepEngine engine(sweep_opts);
+    report.jobsN = engine.effectiveJobs();
+    const auto par_start = Clock::now();
+    engine.run(tasks);
+    report.jobsNWallSec = secondsSince(par_start);
+    return report;
+}
+
+void
+writeBenchJson(std::ostream &os, const BenchReport &report)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    writeSchemaHeader(w, "bench");
+    w.member("git_sha", gitSha());
+    w.member("compiler", __VERSION__);
+    w.member("build_flags", MEMENTO_BUILD_FLAGS);
+    w.member("smoke", report.smoke);
+    w.member("repeats", report.repeats);
+    w.member("jobs", report.jobsN);
+    w.key("workloads").beginArray();
+    for (const WorkloadBench &wb : report.workloads) {
+        w.beginObject();
+        w.member("id", wb.id);
+        w.member("trace_ops", wb.traceOps);
+        w.member("cycles", wb.cycles);
+        w.member("digest", digestToHex(wb.digest));
+        w.member("ops_per_sec", wb.opsPerSec);
+        w.member("p50_op_ns", wb.p50OpNs);
+        w.member("p99_op_ns", wb.p99OpNs);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("totals").beginObject();
+    w.member("workloads",
+             static_cast<std::uint64_t>(report.workloads.size()));
+    w.member("trace_ops", report.totalOps);
+    w.member("cycles", report.totalCycles);
+    w.member("jobs1_wall_sec", report.jobs1WallSec);
+    w.member("jobsN_wall_sec", report.jobsNWallSec);
+    w.member("aggregate_ops_per_sec", report.aggregateOpsPerSec);
+    w.endObject();
+    w.endObject();
+    w.complete();
+}
+
+void
+printBenchText(std::ostream &os, const BenchReport &report)
+{
+    os << "workload                  ops        ops/s    p50ns   p99ns\n";
+    for (const WorkloadBench &wb : report.workloads) {
+        char line[160];
+        std::snprintf(line, sizeof line,
+                      "%-22s %8llu %12.0f %8.1f %7.1f\n", wb.id.c_str(),
+                      static_cast<unsigned long long>(wb.traceOps),
+                      wb.opsPerSec, wb.p50OpNs, wb.p99OpNs);
+        os << line;
+    }
+    char tail[200];
+    std::snprintf(tail, sizeof tail,
+                  "sweep: %.3fs at 1 job, %.3fs at %u job(s); "
+                  "%.0f ops/s aggregate\n",
+                  report.jobs1WallSec, report.jobsNWallSec, report.jobsN,
+                  report.aggregateOpsPerSec);
+    os << tail;
+}
+
+} // namespace memento

@@ -86,8 +86,52 @@ Experiment::tryRunOne(const WorkloadSpec &spec, const Trace &trace,
     }
 
     // Snapshot after set-up: the measurement window covers only the
-    // function execution itself (warm-start semantics).
-    const auto stats_before = machine->stats().snapshot();
+    // function execution itself (warm-start semantics). Each metric
+    // resolves its stat slot once here instead of copying the whole
+    // registry per run and re-finding every name afterwards.
+    struct Probe
+    {
+        StatHandle handle;
+        std::uint64_t before = 0;
+
+        std::uint64_t delta() const { return handle.value() - before; }
+        std::uint64_t now() const { return handle.value(); }
+    };
+    auto probe = [&](const std::string &name) {
+        StatHandle h = machine->stats().handle(name);
+        const std::uint64_t v = h.value();
+        return Probe{std::move(h), v};
+    };
+    // Aggregate usage counts every page the OS allocated, including
+    // runtime set-up (the paper's §6.3 metric covers the runtime's
+    // pre-mapped pools — that is exactly where jemalloc's waste shows
+    // up). Memento's hardware pool recycles pages internally, so only
+    // OS grants to the pool count.
+    const std::string vm = "vm" + std::to_string(machine->process().pid());
+    Probe dramBytes = probe("dram.bytes");
+    Probe dramReads = probe("dram.reads");
+    Probe dramWrites = probe("dram.writes");
+    Probe bypassedLines = probe("hier.bypassed_lines");
+    Probe vmFaults = probe(vm + ".faults");
+    Probe vmMmapCalls = probe(vm + ".mmap_calls");
+    Probe poolRefills = probe("hwpage.pool_refills");
+    Probe hotAllocHits = probe("hot.alloc_hits");
+    Probe hotAllocMisses = probe("hot.alloc_misses");
+    Probe hotFreeHits = probe("hot.free_hits");
+    Probe hotFreeMisses = probe("hot.free_misses");
+    Probe allocListOps = probe("hwobj.alloc_list_ops");
+    Probe freeListOps = probe("hwobj.free_list_ops");
+    Probe pySmallMallocs = probe("pymalloc.small_mallocs");
+    Probe jeSmallMallocs = probe("jemalloc.small_mallocs");
+    Probe goSmallMallocs = probe("gomalloc.small_mallocs");
+    Probe pySmallFrees = probe("pymalloc.small_frees");
+    Probe jeSmallFrees = probe("jemalloc.small_frees");
+    Probe goDeaths = probe("gomalloc.deaths");
+    Probe aggUserPages = probe(vm + ".agg_user_pages");
+    Probe hwAggOsPages = probe("hwpage.agg_os_pages");
+    Probe aggKernelPages = probe(vm + ".agg_kernel_pages");
+    Probe aggVmaBytes = probe(vm + ".agg_vma_bytes");
+    Probe buddyPeakPages = probe("buddy.peak_pages");
     const CycleLedger ledger_before = machine->cycleLedger();
     const std::uint64_t instr_before = machine->instructions();
 
@@ -100,12 +144,6 @@ Experiment::tryRunOne(const WorkloadSpec &spec, const Trace &trace,
         res.error = RunError{e.category(), e.what(), e.opIndex()};
     }
 
-    auto delta = [&](const std::string &name) {
-        auto it = stats_before.find(name);
-        const std::uint64_t before =
-            it == stats_before.end() ? 0 : it->second;
-        return machine->stats().value(name) - before;
-    };
     res.cycles = machine->cycleLedger().total() - ledger_before.total();
     for (std::size_t i = 0; i < kNumCycleCategories; ++i) {
         const auto cat = static_cast<CycleCategory>(i);
@@ -114,53 +152,43 @@ Experiment::tryRunOne(const WorkloadSpec &spec, const Trace &trace,
     }
     res.instructions = machine->instructions() - instr_before;
 
-    res.dramBytes = delta("dram.bytes");
-    res.dramReads = delta("dram.reads");
-    res.dramWrites = delta("dram.writes");
-    res.bypassedLines = delta("hier.bypassed_lines");
+    res.dramBytes = dramBytes.delta();
+    res.dramReads = dramReads.delta();
+    res.dramWrites = dramWrites.delta();
+    res.bypassedLines = bypassedLines.delta();
 
-    // Aggregate usage counts every page the OS allocated, including
-    // runtime set-up (the paper's §6.3 metric covers the runtime's
-    // pre-mapped pools — that is exactly where jemalloc's waste shows
-    // up). Memento's hardware pool recycles pages internally, so only
-    // OS grants to the pool count.
-    const std::string vm = "vm" + std::to_string(machine->process().pid());
-    res.aggUserPages = machine->stats().value(vm + ".agg_user_pages") +
-                       machine->stats().value("hwpage.agg_os_pages");
+    res.aggUserPages = aggUserPages.now() + hwAggOsPages.now();
     res.aggKernelPages =
-        machine->stats().value(vm + ".agg_kernel_pages") +
-        machine->stats().value(vm + ".agg_vma_bytes") / kPageSize;
+        aggKernelPages.now() + aggVmaBytes.now() / kPageSize;
     // Peak consumed memory: machine-wide physical high-water mark,
     // less the hardware pool's idle slack (reclaimable by the OS).
-    std::uint64_t peak = machine->stats().value("buddy.peak_pages");
+    std::uint64_t peak = buddyPeakPages.now();
     if (machine->hwPageAllocator()) {
         const std::uint64_t slack =
             machine->hwPageAllocator()->poolFreePages();
         peak = peak > slack ? peak - slack : 0;
     }
     res.peakResidentPages = peak;
-    res.pageFaults = delta(vm + ".faults");
-    res.mmapCalls = delta(vm + ".mmap_calls");
-    res.poolRefills = delta("hwpage.pool_refills");
+    res.pageFaults = vmFaults.delta();
+    res.mmapCalls = vmMmapCalls.delta();
+    res.poolRefills = poolRefills.delta();
 
-    res.hotAllocHits = delta("hot.alloc_hits");
-    res.hotAllocMisses = delta("hot.alloc_misses");
-    res.hotFreeHits = delta("hot.free_hits");
-    res.hotFreeMisses = delta("hot.free_misses");
-    res.allocListOps = delta("hwobj.alloc_list_ops");
-    res.freeListOps = delta("hwobj.free_list_ops");
+    res.hotAllocHits = hotAllocHits.delta();
+    res.hotAllocMisses = hotAllocMisses.delta();
+    res.hotFreeHits = hotFreeHits.delta();
+    res.hotFreeMisses = hotFreeMisses.delta();
+    res.allocListOps = allocListOps.delta();
+    res.freeListOps = freeListOps.delta();
 
     res.fragInactiveFraction = executor.fragSample();
     if (cfg.memento.enabled && !cfg.memento.mallaccMode) {
         res.objAllocs = res.hotAllocHits + res.hotAllocMisses;
         res.objFrees = res.hotFreeHits + res.hotFreeMisses;
     } else {
-        res.objAllocs = delta("pymalloc.small_mallocs") +
-                        delta("jemalloc.small_mallocs") +
-                        delta("gomalloc.small_mallocs");
-        res.objFrees = delta("pymalloc.small_frees") +
-                       delta("jemalloc.small_frees") +
-                       delta("gomalloc.deaths");
+        res.objAllocs = pySmallMallocs.delta() + jeSmallMallocs.delta() +
+                        goSmallMallocs.delta();
+        res.objFrees =
+            pySmallFrees.delta() + jeSmallFrees.delta() + goDeaths.delta();
     }
 
     if (opts.computeDigest)

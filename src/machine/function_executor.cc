@@ -39,11 +39,23 @@ FunctionExecutor::execute(const WorkloadSpec &spec, const TraceOp &op)
         break;
       case OpKind::Malloc: {
         Addr addr = alloc.malloc(op.value, machine_);
-        auto [it, inserted] =
-            objects_.emplace(op.objId, ObjectInfo{addr, op.value});
-        (void)it;
-        sim_error_if(!inserted, ErrorCategory::Trace,
-                     "trace: duplicate object id ", op.objId);
+        if (op.objId < kDenseIdLimit) {
+            if (op.objId >= dense_.size())
+                dense_.resize(op.objId + 1);
+            ObjectInfo &slot = dense_[op.objId];
+            sim_error_if(slot.live, ErrorCategory::Trace,
+                         "trace: duplicate object id ", op.objId);
+            slot.addr = addr;
+            slot.size = op.value;
+            slot.live = true;
+        } else {
+            auto [it, inserted] = sparse_.emplace(
+                op.objId, ObjectInfo{addr, op.value, true});
+            (void)it;
+            sim_error_if(!inserted, ErrorCategory::Trace,
+                         "trace: duplicate object id ", op.objId);
+        }
+        ++liveCount_;
         if (++opsSinceFragSample_ >= 4096) {
             opsSinceFragSample_ = 0;
             const std::uint64_t live = alloc.liveBytes();
@@ -55,21 +67,35 @@ FunctionExecutor::execute(const WorkloadSpec &spec, const TraceOp &op)
         break;
       }
       case OpKind::Free: {
-        auto it = objects_.find(op.objId);
-        sim_error_if(it == objects_.end(), ErrorCategory::Trace,
+        if (op.objId < dense_.size() && dense_[op.objId].live) {
+            ObjectInfo &slot = dense_[op.objId];
+            slot.live = false;
+            --liveCount_;
+            alloc.free(slot.addr, machine_);
+            break;
+        }
+        auto it = sparse_.find(op.objId);
+        sim_error_if(it == sparse_.end(), ErrorCategory::Trace,
                      "trace: free of unknown object ", op.objId);
         alloc.free(it->second.addr, machine_);
-        objects_.erase(it);
+        sparse_.erase(it);
+        --liveCount_;
         break;
       }
       case OpKind::Load:
       case OpKind::Store: {
-        auto it = objects_.find(op.objId);
-        sim_error_if(it == objects_.end(), ErrorCategory::Trace,
-                     "trace: access to unknown object ", op.objId);
-        sim_error_if(op.offset >= it->second.size, ErrorCategory::Trace,
+        const ObjectInfo *info;
+        if (op.objId < dense_.size() && dense_[op.objId].live) {
+            info = &dense_[op.objId];
+        } else {
+            auto it = sparse_.find(op.objId);
+            sim_error_if(it == sparse_.end(), ErrorCategory::Trace,
+                         "trace: access to unknown object ", op.objId);
+            info = &it->second;
+        }
+        sim_error_if(op.offset >= info->size, ErrorCategory::Trace,
                      "trace: access past object end");
-        machine_.appAccess(it->second.addr + op.offset,
+        machine_.appAccess(info->addr + op.offset,
                            op.kind == OpKind::Store ? AccessType::Write
                                                     : AccessType::Read);
         break;
@@ -80,7 +106,9 @@ FunctionExecutor::execute(const WorkloadSpec &spec, const TraceOp &op)
             fragSample_ = alloc.inactiveSlotFraction();
         }
         alloc.functionExit(machine_);
-        objects_.clear();
+        dense_.clear();
+        sparse_.clear();
+        liveCount_ = 0;
         break;
     }
 }
@@ -122,6 +150,29 @@ FunctionExecutor::run(const WorkloadSpec &spec, const Trace &trace,
         cfg.inject.traceTruncateAt < trace.size()) {
         limit = cfg.inject.traceTruncateAt;
         truncated = true;
+    }
+
+    // Hot path: no fault plan and no watchdog/invariant checks armed.
+    // The per-op budget tests and the op-copy for corruption are all
+    // invariant over the run, so hoist them out entirely and replay in
+    // one tight loop. Error tagging is preserved by catching outside
+    // the loop with the op index still in scope.
+    if (!faulted && check.maxOps == 0 && check.maxCycles == 0 &&
+        check.interval == 0) {
+        std::size_t i = 0;
+        try {
+            for (; i < limit; ++i)
+                execute(spec, trace[i]);
+        } catch (SimError &e) {
+            e.tagOpIndex(i);
+            throw;
+        }
+        sim_error_if(truncated, ErrorCategory::Trace,
+                     "trace truncated at op ", limit,
+                     " (missing FunctionEnd)");
+        if (opts.chargeRpc)
+            chargeRpc(spec); // Store results.
+        return;
     }
 
     for (std::size_t i = 0; i < limit; ++i) {

@@ -10,6 +10,7 @@
 #define MEMENTO_MACHINE_FUNCTION_EXECUTOR_H
 
 #include <unordered_map>
+#include <vector>
 
 #include "machine/machine.h"
 #include "wl/trace.h"
@@ -71,14 +72,23 @@ class FunctionExecutor
     double fragSample() const { return fragSample_; }
 
     /** Live object count (for tests; 0 after FunctionEnd). */
-    std::size_t liveObjects() const { return objects_.size(); }
+    std::size_t liveObjects() const { return liveCount_; }
 
   private:
     struct ObjectInfo
     {
         Addr addr = 0;
         std::uint64_t size = 0;
+        bool live = false;
     };
+
+    /**
+     * Ids below this bind through the flat vector; at or above it (a
+     * handwritten trace with huge ids, fault injection's poisoned
+     * frees) they fall back to the hash map. Bounds the vector so a
+     * hostile id cannot demand 2^64 slots.
+     */
+    static constexpr std::uint64_t kDenseIdLimit = 1ull << 22;
 
     void chargeRpc(const WorkloadSpec &spec);
     void execute(const WorkloadSpec &spec, const TraceOp &op);
@@ -86,7 +96,15 @@ class FunctionExecutor
     void flipArenaBit();
 
     Machine &machine_;
-    std::unordered_map<std::uint64_t, ObjectInfo> objects_;
+    /**
+     * Object bindings. Trace generators issue ids densely from 1, so
+     * the common case is a bounds check plus an indexed load — the
+     * hash lookup per Load/Store/Free dominated the replay profile.
+     * Grown on demand; FunctionEnd clears size but keeps capacity.
+     */
+    std::vector<ObjectInfo> dense_;
+    std::unordered_map<std::uint64_t, ObjectInfo> sparse_;
+    std::size_t liveCount_ = 0;
     double fragSample_ = 0.0;
     std::uint64_t fragMaxLive_ = 0;
     std::uint64_t opsSinceFragSample_ = 0;

@@ -27,13 +27,19 @@
 #include "rt/allocator.h"
 #include "sim/config.h"
 #include "sim/cycles.h"
+#include "sim/error.h"
+#include "sim/logging.h"
 #include "sim/stats.h"
 #include "wl/workloads.h"
 
 namespace memento {
 
-/** The full-system model. */
-class Machine : public Env
+/**
+ * The full-system model. `final` so that calls through a Machine
+ * reference devirtualize — Env's charge/access methods run tens of
+ * millions of times per workload replay.
+ */
+class Machine final : public Env
 {
   public:
     explicit Machine(const MachineConfig &cfg);
@@ -43,8 +49,13 @@ class Machine : public Env
     Machine &operator=(const Machine &) = delete;
 
     // ---- Env ----
-    void chargeInstructions(InstCount n) override;
-    void chargeCycles(Cycles n) override;
+    void chargeInstructions(InstCount n) override
+    {
+        instructions_ += n;
+        const double cycles = static_cast<double>(n) / cfg_.core.baseIpc;
+        ledger_.charge(static_cast<Cycles>(cycles + 0.5));
+    }
+    void chargeCycles(Cycles n) override { ledger_.charge(n); }
     Cycles accessVirtual(Addr vaddr, AccessType type) override;
     Cycles accessPhysical(Addr paddr, AccessType type,
                           AccessAttrs attrs = {}) override;
@@ -68,10 +79,18 @@ class Machine : public Env
     void switchTo(unsigned index);
 
     /** The current process's allocator. */
-    Allocator &allocator();
+    Allocator &allocator()
+    {
+        panic_if(procs_.empty(), "no process created");
+        return *procs_[current_].allocator;
+    }
 
     /** The current process. */
-    Process &process();
+    Process &process()
+    {
+        panic_if(procs_.empty(), "no process created");
+        return *procs_[current_].process;
+    }
 
     /** Number of created processes. */
     unsigned processCount() const
@@ -86,7 +105,7 @@ class Machine : public Env
     MementoSpace *mementoSpaceAt(unsigned index);
 
     /** Base of the current process's static working-set region. */
-    Addr staticBase() const;
+    Addr staticBase() const { return procs_[current_].staticBase; }
 
     // ---- Application-issued operations ----
 
@@ -160,6 +179,154 @@ class Machine : public Env
     Counter appLoads_;
     Counter appStores_;
 };
+
+// ---- Hot-path inline definitions ----
+//
+// Translation and the application access paths run once per simulated
+// memory reference; defining them here lets the TLB probes and the
+// hierarchy access inline into one chain.
+
+inline Addr
+Machine::translate(Addr vaddr)
+{
+    // L1 TLB (entries may be 4 KiB or 2 MiB).
+    chargeCycles(l1Tlb_->latency());
+    if (auto paddr = l1Tlb_->translate(vaddr))
+        return *paddr;
+
+    // L2 TLB.
+    chargeCycles(l2Tlb_->latency());
+    if (auto paddr = l2Tlb_->translate(vaddr)) {
+        // Refill the L1 at the same granularity the mapping has.
+        ProcContext &p = procs_[current_];
+        const bool is_huge = p.process->vm().lookupHuge(vaddr).has_value();
+        l1Tlb_->insert(vaddr, *paddr - (vaddr & ((1ull << (is_huge ? kHugePageShift : kPageShift)) - 1)),
+                       is_huge ? kHugePageShift : kPageShift);
+        return *paddr;
+    }
+
+    // Page walk. The MMU compares against MRS/MRE to pick the table.
+    ProcContext &proc = procs_[current_];
+    Addr ppage = kNullAddr;
+    const MementoRegs &regs = proc.process->mementoRegs();
+    const bool in_region = cfg_.memento.enabled && vaddr >= regs.mrs &&
+                           vaddr < regs.mre;
+    if (in_region) {
+        ppage = mementoWalk(vaddr);
+    } else {
+        VirtualMemory &vm = proc.process->vm();
+        // A huge (PMD-level) mapping terminates the walk a level early.
+        if (auto huge = vm.lookupHuge(vaddr)) {
+            chargeCycles(3 * cfg_.l2.latency / 2); // 3-level walk approx.
+            const Addr base = *huge - (vaddr & ((1ull << kHugePageShift) - 1));
+            l1Tlb_->insert(vaddr, base, kHugePageShift);
+            l2Tlb_->insert(vaddr, base, kHugePageShift);
+            return *huge;
+        }
+        Cycles walk_latency = 0;
+        WalkResult res =
+            walker_->walk(vm.pageTable(), vaddr, now(), walk_latency);
+        ledger_.charge(walk_latency);
+        if (!res.valid) {
+            // Demand fault, then the access retries the walk.
+            sim_error_if(!vm.handleFault(vaddr, *this),
+                         ErrorCategory::Trace,
+                         "segfault at 0x", std::hex, vaddr);
+            if (auto huge = vm.lookupHuge(vaddr)) {
+                // The fault was satisfied with a huge page (THP).
+                const Addr base =
+                    *huge - (vaddr & ((1ull << kHugePageShift) - 1));
+                l1Tlb_->insert(vaddr, base, kHugePageShift);
+                l2Tlb_->insert(vaddr, base, kHugePageShift);
+                return *huge;
+            }
+            walk_latency = 0;
+            res = walker_->walk(vm.pageTable(), vaddr, now(),
+                                walk_latency);
+            ledger_.charge(walk_latency);
+            panic_if(!res.valid, "walk invalid after fault");
+        }
+        ppage = res.ppage;
+    }
+
+    l1Tlb_->insert(vaddr, ppage);
+    l2Tlb_->insert(vaddr, ppage);
+    return ppage + (vaddr & (kPageSize - 1));
+}
+
+inline Cycles
+Machine::accessVirtual(Addr vaddr, AccessType type)
+{
+    const Cycles before = ledger_.total();
+    const Addr paddr = translate(vaddr);
+    AccessResult res = hier_->access(paddr, type, now());
+    // Stores retire from the store buffer wherever they occur —
+    // allocator metadata updates and object zeroing included — so the
+    // bulk of a write's hierarchy latency is hidden. Loads on these
+    // paths are dependent pointer chases and stay fully exposed.
+    Cycles charge = res.latency;
+    if (type == AccessType::Write) {
+        const double exposed =
+            static_cast<double>(res.latency) *
+            (1.0 - cfg_.core.storeLatencyHiddenFraction);
+        charge = static_cast<Cycles>(exposed < 1.0 ? 1.0 : exposed);
+    }
+    ledger_.charge(charge);
+    return ledger_.total() - before;
+}
+
+inline Cycles
+Machine::accessPhysical(Addr paddr, AccessType type, AccessAttrs attrs)
+{
+    AccessResult res = hier_->access(paddr, type, now(), attrs);
+    ledger_.charge(res.latency);
+    return res.latency;
+}
+
+inline Cycles
+Machine::installPhysical(Addr paddr)
+{
+    Cycles latency = hier_->installLine(paddr, now());
+    ledger_.charge(latency);
+    return latency;
+}
+
+inline void
+Machine::appCompute(InstCount n)
+{
+    CategoryScope scope(ledger_, CycleCategory::AppCompute);
+    chargeInstructions(n);
+}
+
+inline void
+Machine::appAccess(Addr vaddr, AccessType type)
+{
+    CategoryScope scope(ledger_, CycleCategory::AppMemory);
+    if (type == AccessType::Write)
+        ++appStores_;
+    else
+        ++appLoads_;
+
+    const Addr paddr = translate(vaddr);
+
+    AccessAttrs attrs;
+    if (bypass_ && procs_[current_].space &&
+        geometry_->inRegion(vaddr)) {
+        attrs.bypassCandidate =
+            bypass_->onAccess(*procs_[current_].space, vaddr);
+    }
+
+    AccessResult res = hier_->access(paddr, type, now(), attrs);
+    // The OOO window overlaps part of the hierarchy latency with
+    // useful work; stores retire from the store buffer and almost
+    // never stall, loads stall on the unhidden remainder.
+    const double hidden = type == AccessType::Write
+                              ? cfg_.core.storeLatencyHiddenFraction
+                              : cfg_.core.memLatencyHiddenFraction;
+    const double exposed =
+        static_cast<double>(res.latency) * (1.0 - hidden);
+    ledger_.charge(static_cast<Cycles>(exposed < 1.0 ? 1.0 : exposed));
+}
 
 } // namespace memento
 

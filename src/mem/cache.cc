@@ -21,98 +21,6 @@ Cache::Cache(const std::string &name, const CacheConfig &cfg,
              ": set count must be a power of two");
 }
 
-std::uint64_t
-Cache::setIndex(Addr paddr) const
-{
-    return (paddr >> kLineShift) & (numSets_ - 1);
-}
-
-Addr
-Cache::tagOf(Addr paddr) const
-{
-    return paddr >> kLineShift;
-}
-
-bool
-Cache::access(Addr paddr, bool is_write)
-{
-    const std::uint64_t set = setIndex(paddr);
-    const Addr tag = tagOf(paddr);
-    Line *base = &lines_[set * ways_];
-    for (unsigned w = 0; w < ways_; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            line.lruStamp = ++lruClock_;
-            if (is_write)
-                line.dirty = true;
-            ++hits_;
-            return true;
-        }
-    }
-    ++misses_;
-    return false;
-}
-
-bool
-Cache::contains(Addr paddr) const
-{
-    const std::uint64_t set = setIndex(paddr);
-    const Addr tag = tagOf(paddr);
-    const Line *base = &lines_[set * ways_];
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return true;
-    }
-    return false;
-}
-
-Cache::Eviction
-Cache::install(Addr paddr, bool dirty)
-{
-    const std::uint64_t set = setIndex(paddr);
-    const Addr tag = tagOf(paddr);
-    Line *base = &lines_[set * ways_];
-
-    // Already resident: just refresh.
-    for (unsigned w = 0; w < ways_; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            line.lruStamp = ++lruClock_;
-            line.dirty = line.dirty || dirty;
-            return {};
-        }
-    }
-
-    // Find an invalid way, else the LRU victim.
-    Line *victim = nullptr;
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
-        }
-    }
-    Eviction evicted;
-    if (!victim) {
-        victim = &base[0];
-        for (unsigned w = 1; w < ways_; ++w) {
-            if (base[w].lruStamp < victim->lruStamp)
-                victim = &base[w];
-        }
-        evicted.valid = true;
-        evicted.lineAddr = victim->tag << kLineShift;
-        evicted.dirty = victim->dirty;
-        ++evictions_;
-        if (victim->dirty)
-            ++dirtyEvictions_;
-    }
-
-    victim->valid = true;
-    victim->dirty = dirty;
-    victim->tag = tag;
-    victim->lruStamp = ++lruClock_;
-    return evicted;
-}
-
 bool
 Cache::invalidate(Addr paddr)
 {
@@ -129,21 +37,6 @@ Cache::invalidate(Addr paddr)
         }
     }
     return false;
-}
-
-void
-Cache::markDirty(Addr paddr)
-{
-    const std::uint64_t set = setIndex(paddr);
-    const Addr tag = tagOf(paddr);
-    Line *base = &lines_[set * ways_];
-    for (unsigned w = 0; w < ways_; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            line.dirty = true;
-            return;
-        }
-    }
 }
 
 std::uint64_t

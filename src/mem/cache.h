@@ -41,6 +41,11 @@ class Cache
     Cache(const std::string &name, const CacheConfig &cfg,
           StatRegistry &stats);
 
+    // The per-access methods below are defined inline at the bottom of
+    // this header: they run tens of millions of times per workload
+    // replay and dominate the self-benchmark profile when the compiler
+    // cannot see their bodies from CacheHierarchy.
+
     /**
      * Look up @p paddr; on a hit, update LRU and (for writes) the dirty
      * bit. Does not allocate on miss — the hierarchy installs lines
@@ -60,6 +65,15 @@ class Cache
     Eviction install(Addr paddr, bool dirty);
 
     /**
+     * install() for a line the caller has just observed missing at this
+     * level (an access() or contains() that returned false, with no
+     * intervening install): skips the already-resident probe. Victim
+     * choice, LRU updates, and eviction accounting are identical to
+     * install() on an absent line — this is purely the hot-path form.
+     */
+    Eviction installAbsent(Addr paddr, bool dirty);
+
+    /**
      * Remove the line holding @p paddr if resident.
      * @return true if the line was present and dirty.
      */
@@ -67,6 +81,13 @@ class Cache
 
     /** Mark the resident line holding @p paddr dirty (no-op if absent). */
     void markDirty(Addr paddr);
+
+    /**
+     * Single-scan contains() + markDirty(): mark the resident line
+     * holding @p paddr dirty.
+     * @return true if the line was resident.
+     */
+    bool tryMarkDirty(Addr paddr);
 
     /** Invalidate everything (returns number of dirty lines dropped). */
     std::uint64_t flushAll();
@@ -105,6 +126,9 @@ class Cache
     std::uint64_t setIndex(Addr paddr) const;
     Addr tagOf(Addr paddr) const;
 
+    /** Shared install tail: fill the first invalid way, else evict @p lru. */
+    Eviction fillVictim(Line *invalid, Line *lru, Addr tag, bool dirty);
+
     std::string name_;
     std::uint64_t numSets_;
     unsigned ways_;
@@ -117,6 +141,152 @@ class Cache
     Counter evictions_;
     Counter dirtyEvictions_;
 };
+
+// ---- Hot-path inline definitions ----
+
+inline std::uint64_t
+Cache::setIndex(Addr paddr) const
+{
+    return (paddr >> kLineShift) & (numSets_ - 1);
+}
+
+inline Addr
+Cache::tagOf(Addr paddr) const
+{
+    return paddr >> kLineShift;
+}
+
+inline bool
+Cache::access(Addr paddr, bool is_write)
+{
+    const std::uint64_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    Line *base = &lines_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = ++lruClock_;
+            if (is_write)
+                line.dirty = true;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+inline bool
+Cache::contains(Addr paddr) const
+{
+    const std::uint64_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    const Line *base = &lines_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+inline Cache::Eviction
+Cache::fillVictim(Line *invalid, Line *lru, Addr tag, bool dirty)
+{
+    // An invalid way wins over the LRU victim; `lru` is the first
+    // least-recently-used valid way of the set when none is invalid —
+    // the same victim order the pre-fused triple scan produced.
+    Line *victim = invalid;
+    Eviction evicted;
+    if (!victim) {
+        victim = lru;
+        evicted.valid = true;
+        evicted.lineAddr = victim->tag << kLineShift;
+        evicted.dirty = victim->dirty;
+        ++evictions_;
+        if (victim->dirty)
+            ++dirtyEvictions_;
+    }
+
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->tag = tag;
+    victim->lruStamp = ++lruClock_;
+    return evicted;
+}
+
+inline Cache::Eviction
+Cache::install(Addr paddr, bool dirty)
+{
+    const std::uint64_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    Line *base = &lines_[set * ways_];
+
+    // One scan finds a resident copy, the first invalid way, and the
+    // LRU entry simultaneously (the set was scanned three times here
+    // before the bench harness flagged install() as the hottest
+    // function in the sweep).
+    Line *invalid = nullptr;
+    Line *lru = &base[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid) {
+            if (line.tag == tag) {
+                // Already resident: just refresh.
+                line.lruStamp = ++lruClock_;
+                line.dirty = line.dirty || dirty;
+                return {};
+            }
+            if (line.lruStamp < lru->lruStamp)
+                lru = &line;
+        } else if (!invalid) {
+            invalid = &line;
+        }
+    }
+    return fillVictim(invalid, lru, tag, dirty);
+}
+
+inline Cache::Eviction
+Cache::installAbsent(Addr paddr, bool dirty)
+{
+    const std::uint64_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    Line *base = &lines_[set * ways_];
+
+    Line *invalid = nullptr;
+    Line *lru = &base[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid) {
+            if (line.lruStamp < lru->lruStamp)
+                lru = &line;
+        } else if (!invalid) {
+            invalid = &line;
+        }
+    }
+    return fillVictim(invalid, lru, tag, dirty);
+}
+
+inline bool
+Cache::tryMarkDirty(Addr paddr)
+{
+    const std::uint64_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    Line *base = &lines_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.dirty = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+inline void
+Cache::markDirty(Addr paddr)
+{
+    tryMarkDirty(paddr);
+}
 
 } // namespace memento
 

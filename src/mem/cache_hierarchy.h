@@ -75,6 +75,127 @@ class CacheHierarchy
     Counter demandFills_;
 };
 
+// ---- Hot-path inline definitions ----
+//
+// access() and its eviction helpers run once per simulated memory
+// reference (tens of millions of times per workload); defining them
+// here lets them inline into Machine's access paths together with the
+// Cache probes they call.
+
+inline void
+CacheHierarchy::absorbL1Eviction(const Cache::Eviction &ev, Cycles now)
+{
+    if (!ev.valid || !ev.dirty)
+        return;
+    // Inclusive hierarchy: the line is resident in L2 unless a racing
+    // back-invalidation removed it; merge the dirty data downward.
+    if (l2_.tryMarkDirty(ev.lineAddr))
+        return;
+    if (!llc_.tryMarkDirty(ev.lineAddr))
+        memCtrl_.writeback(ev.lineAddr, now);
+}
+
+inline void
+CacheHierarchy::absorbL2Eviction(const Cache::Eviction &ev, Cycles now)
+{
+    if (!ev.valid)
+        return;
+    if (ev.dirty && !llc_.tryMarkDirty(ev.lineAddr))
+        memCtrl_.writeback(ev.lineAddr, now);
+}
+
+inline void
+CacheHierarchy::absorbLlcEviction(const Cache::Eviction &ev, Cycles now)
+{
+    if (!ev.valid)
+        return;
+    // Back-invalidate inner levels to preserve inclusion; fold their
+    // dirtiness into the writeback decision.
+    bool dirty = ev.dirty;
+    dirty |= l1d_.invalidate(ev.lineAddr);
+    dirty |= l1i_.invalidate(ev.lineAddr);
+    dirty |= l2_.invalidate(ev.lineAddr);
+    if (dirty)
+        memCtrl_.writeback(ev.lineAddr, now);
+}
+
+inline void
+CacheHierarchy::installAllLevels(Cache &l1, Addr paddr, bool dirty,
+                                 Cycles now)
+{
+    absorbLlcEviction(llc_.install(paddr, false), now);
+    absorbL2Eviction(l2_.install(paddr, false), now);
+    absorbL1Eviction(l1.install(paddr, dirty), now);
+}
+
+inline AccessResult
+CacheHierarchy::access(Addr paddr, AccessType type, Cycles now,
+                       AccessAttrs attrs)
+{
+    const Addr line = lineBase(paddr);
+    const bool is_write = type == AccessType::Write;
+    Cache &l1 = type == AccessType::Fetch ? l1i_ : l1d_;
+
+    AccessResult res;
+    res.latency = l1.latency();
+    if (l1.access(line, is_write)) {
+        res.servicedByLevel = 1;
+        return res;
+    }
+
+    // Every level below a miss has just been probed, so the fills on
+    // these paths use installAbsent() (identical semantics, one fewer
+    // set scan; see cache.h).
+    res.latency += l2_.latency();
+    if (l2_.access(line, is_write)) {
+        // Refill the L1 from the L2.
+        absorbL1Eviction(l1.installAbsent(line, is_write), now);
+        res.servicedByLevel = 2;
+        return res;
+    }
+
+    res.latency += llc_.latency();
+    if (llc_.access(line, is_write)) {
+        absorbL2Eviction(l2_.installAbsent(line, false), now);
+        absorbL1Eviction(l1.installAbsent(line, is_write), now);
+        res.servicedByLevel = 3;
+        return res;
+    }
+
+    if (attrs.bypassCandidate) {
+        // §3.3: instantiate the never-written line zero-filled at the
+        // LLC; the request propagates normally for coherence but no
+        // DRAM fetch happens.
+        ++bypasses_;
+        absorbLlcEviction(llc_.installAbsent(line, true), now);
+        absorbL2Eviction(l2_.installAbsent(line, false), now);
+        absorbL1Eviction(l1.installAbsent(line, is_write), now);
+        res.servicedByLevel = 3;
+        res.bypassed = true;
+        return res;
+    }
+
+    ++demandFills_;
+    res.latency += memCtrl_.fill(line, now + res.latency);
+    absorbLlcEviction(llc_.installAbsent(line, false), now);
+    absorbL2Eviction(l2_.installAbsent(line, false), now);
+    absorbL1Eviction(l1.installAbsent(line, is_write), now);
+    res.servicedByLevel = 4;
+    return res;
+}
+
+inline Cycles
+CacheHierarchy::installLine(Addr paddr, Cycles now)
+{
+    const Addr line = lineBase(paddr);
+    if (l1d_.access(line, /*is_write=*/true))
+        return l1d_.latency();
+    // L2/LLC residency is unknown here, so installAllLevels() keeps the
+    // full install() probes for those levels.
+    installAllLevels(l1d_, line, /*dirty=*/true, now);
+    return l1d_.latency();
+}
+
 } // namespace memento
 
 #endif // MEMENTO_MEM_CACHE_HIERARCHY_H

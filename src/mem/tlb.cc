@@ -7,6 +7,7 @@ namespace memento {
 Tlb::Tlb(const std::string &name, const TlbConfig &cfg, StatRegistry &stats)
     : name_(name),
       numSets_(cfg.entries / cfg.ways),
+      setMask_(isPowerOfTwo(numSets_) ? numSets_ - 1 : 0),
       ways_(cfg.ways),
       latency_(cfg.latency),
       entries_(numSets_ * cfg.ways),
@@ -16,51 +17,6 @@ Tlb::Tlb(const std::string &name, const TlbConfig &cfg, StatRegistry &stats)
     // A 2048-entry 12-way TLB (Table 3) is not evenly divisible; round
     // the set count down as real designs do (capacity 2040 here).
     fatal_if(cfg.entries < cfg.ways, "tlb ", name, ": too few entries");
-}
-
-std::uint64_t
-Tlb::setIndex(Addr vpage) const
-{
-    return vpage % numSets_;
-}
-
-Tlb::Entry *
-Tlb::find(Addr vaddr)
-{
-    for (unsigned shift : {kPageShift, kHugePageShift}) {
-        const Addr vpage = vaddr >> shift;
-        Entry *base = &entries_[setIndex(vpage) * ways_];
-        for (unsigned w = 0; w < ways_; ++w) {
-            Entry &e = base[w];
-            if (e.valid && e.shift == shift && e.vpage == vpage)
-                return &e;
-        }
-    }
-    return nullptr;
-}
-
-std::optional<Addr>
-Tlb::lookup(Addr vaddr)
-{
-    if (Entry *e = find(vaddr)) {
-        e->lruStamp = ++lruClock_;
-        ++hits_;
-        return e->pbase;
-    }
-    ++misses_;
-    return std::nullopt;
-}
-
-std::optional<Addr>
-Tlb::translate(Addr vaddr)
-{
-    if (Entry *e = find(vaddr)) {
-        e->lruStamp = ++lruClock_;
-        ++hits_;
-        return e->pbase + (vaddr & ((1ull << e->shift) - 1));
-    }
-    ++misses_;
-    return std::nullopt;
 }
 
 void
@@ -86,6 +42,10 @@ Tlb::insert(Addr vaddr, Addr paddr, unsigned shift)
                 victim = &base[w];
         }
     }
+    if (victim->valid && victim->shift == kHugePageShift)
+        --hugeEntries_;
+    if (shift == kHugePageShift)
+        ++hugeEntries_;
     victim->valid = true;
     victim->shift = shift;
     victim->vpage = vpage;
@@ -101,8 +61,11 @@ Tlb::invalidatePage(Addr vaddr)
         Entry *base = &entries_[setIndex(vpage) * ways_];
         for (unsigned w = 0; w < ways_; ++w) {
             Entry &e = base[w];
-            if (e.valid && e.shift == shift && e.vpage == vpage)
+            if (e.valid && e.shift == shift && e.vpage == vpage) {
                 e.valid = false;
+                if (shift == kHugePageShift)
+                    --hugeEntries_;
+            }
         }
     }
 }
@@ -112,6 +75,7 @@ Tlb::flushAll()
 {
     for (Entry &e : entries_)
         e.valid = false;
+    hugeEntries_ = 0;
 }
 
 } // namespace memento

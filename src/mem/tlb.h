@@ -65,18 +65,88 @@ class Tlb
     };
 
     Entry *find(Addr vaddr);
+    Entry *findAt(Addr vaddr, unsigned shift);
     std::uint64_t setIndex(Addr vpage) const;
 
     std::string name_;
     std::uint64_t numSets_;
+    /**
+     * numSets_ - 1 when numSets_ is a power of two, else 0. Lets
+     * setIndex() replace the hardware divide behind `vpage % numSets_`
+     * with a mask for power-of-two geometries (e.g. the L1 TLB, probed
+     * tens of millions of times per sweep).
+     */
+    std::uint64_t setMask_;
     unsigned ways_;
     Cycles latency_;
     std::vector<Entry> entries_;
     std::uint64_t lruClock_ = 0;
+    /**
+     * Resident 2 MiB entries. Lets find() skip the huge-granularity
+     * set probe entirely while zero — the common case for workloads
+     * that never map THP pages.
+     */
+    std::uint64_t hugeEntries_ = 0;
 
     Counter hits_;
     Counter misses_;
 };
+
+// ---- Hot-path inline definitions ----
+
+inline std::uint64_t
+Tlb::setIndex(Addr vpage) const
+{
+    return setMask_ ? (vpage & setMask_) : vpage % numSets_;
+}
+
+inline Tlb::Entry *
+Tlb::findAt(Addr vaddr, unsigned shift)
+{
+    const Addr vpage = vaddr >> shift;
+    Entry *base = &entries_[setIndex(vpage) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.shift == shift && e.vpage == vpage)
+            return &e;
+    }
+    return nullptr;
+}
+
+inline Tlb::Entry *
+Tlb::find(Addr vaddr)
+{
+    // Probe order (4 KiB before 2 MiB) matches the original dual-loop
+    // scan; the huge probe is elided while no huge entry is resident.
+    Entry *e = findAt(vaddr, kPageShift);
+    if (!e && hugeEntries_ != 0)
+        e = findAt(vaddr, kHugePageShift);
+    return e;
+}
+
+inline std::optional<Addr>
+Tlb::lookup(Addr vaddr)
+{
+    if (Entry *e = find(vaddr)) {
+        e->lruStamp = ++lruClock_;
+        ++hits_;
+        return e->pbase;
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+inline std::optional<Addr>
+Tlb::translate(Addr vaddr)
+{
+    if (Entry *e = find(vaddr)) {
+        e->lruStamp = ++lruClock_;
+        ++hits_;
+        return e->pbase + (vaddr & ((1ull << e->shift) - 1));
+    }
+    ++misses_;
+    return std::nullopt;
+}
 
 } // namespace memento
 

@@ -95,13 +95,11 @@ PyMalloc::Pool &
 PyMalloc::poolForClass(unsigned cls, Env &env)
 {
     auto &list = usedPools_[cls];
-    if (!list.empty()) {
-        Pool &pool = pools_.at(list.front());
-        return pool;
-    }
+    if (!list.empty())
+        return *list.front();
     Addr pool_base = acquirePool(cls, env);
     Pool &pool = pools_.at(pool_base);
-    list.push_front(pool_base);
+    list.push_front(&pool);
     pool.usedPos = list.begin();
     pool.inUsedList = true;
     return pool;
@@ -187,7 +185,7 @@ PyMalloc::free(Addr ptr, Env &env)
     if (!pool.inUsedList) {
         // Pool was full and regained space: back to the used list head.
         auto &list = usedPools_[pool.szclass];
-        list.push_front(pool.base);
+        list.push_front(&pool);
         pool.usedPos = list.begin();
         pool.inUsedList = true;
         env.chargeInstructions(12);

@@ -71,7 +71,7 @@ class PyMalloc : public Allocator
         /** LIFO of freed block addresses (freeblock chain). */
         std::vector<Addr> freeBlocks;
         /** Position in usedPools_[szclass] when linked there. */
-        std::list<Addr>::iterator usedPos;
+        std::list<Pool *>::iterator usedPos;
         bool inUsedList = false;
 
         bool
@@ -104,8 +104,13 @@ class PyMalloc : public Allocator
     Params params_;
     GlibcLargeAlloc large_;
 
-    /** Pools with free blocks per class; front = most recently used. */
-    std::vector<std::list<Addr>> usedPools_;
+    /**
+     * Pools with free blocks per class; front = most recently used.
+     * Holds Pool pointers (map nodes are stable) so the malloc fast
+     * path reaches its pool without a pools_ lookup; a pool unlinks
+     * itself before its pools_ node is erased.
+     */
+    std::vector<std::list<Pool *>> usedPools_;
     std::map<Addr, Pool> pools_;   ///< Keyed by pool base.
     std::map<Addr, Arena> arenas_; ///< Keyed by arena base.
     /** Arena-object table region (arena metadata lives here). */

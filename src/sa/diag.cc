@@ -2,39 +2,10 @@
 
 #include <ostream>
 
+#include "sim/json.h"
 #include "sim/logging.h"
 
 namespace memento {
-namespace {
-
-/** JSON string escaping (control chars, quotes, backslashes). */
-std::string
-jsonEscape(std::string_view s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (const char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                static const char *hex = "0123456789abcdef";
-                out += "\\u00";
-                out += hex[(c >> 4) & 0xf];
-                out += hex[c & 0xf];
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-} // namespace
 
 std::string_view
 severityName(DiagSeverity severity)
@@ -191,21 +162,26 @@ DiagReport::printText(std::ostream &os, const DiagPolicy &policy) const
 void
 DiagReport::printJson(std::ostream &os, const DiagPolicy &policy) const
 {
-    os << '[';
-    bool first = true;
+    JsonWriter w(os);
+    w.beginObject();
+    writeSchemaHeader(w, "diagnostics");
+    w.key("findings").beginArray();
     for (const Diag &d : diags_) {
         if (policy.suppressed(d.ruleId))
             continue;
-        os << (first ? "" : ",") << "\n  {\"rule\": \""
-           << jsonEscape(d.ruleId) << "\", \"severity\": \""
-           << severityName(policy.effective(d.severity))
-           << "\", \"subject\": \"" << jsonEscape(d.subject) << "\", ";
+        w.beginObject();
+        w.member("rule", d.ruleId);
+        w.member("severity", severityName(policy.effective(d.severity)));
+        w.member("subject", std::string_view(d.subject));
         if (d.hasLocation())
-            os << "\"location\": " << d.location << ", ";
-        os << "\"message\": \"" << jsonEscape(d.message) << "\"}";
-        first = false;
+            w.member("location", d.location);
+        w.member("message", std::string_view(d.message));
+        w.endObject();
     }
-    os << (first ? "]" : "\n]");
+    w.endArray();
+    w.member("errors", static_cast<std::uint64_t>(errors(policy)));
+    w.member("warnings", static_cast<std::uint64_t>(warnings(policy)));
+    w.endObject();
 }
 
 } // namespace memento

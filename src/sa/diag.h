@@ -11,7 +11,8 @@
  *     aes:1234: error: double free of object 42 (freed at op 1200)
  *         [trace-double-free]
  *
- * or as a JSON array, and a DiagPolicy applies `--allow RULE`
+ * or as a versioned JSON document (sim/json.h envelope, kind
+ * "diagnostics"), and a DiagPolicy applies `--allow RULE`
  * suppression and `--werror` warning promotion uniformly at render and
  * count time, so suppression never has to be re-implemented per
  * analyzer.
@@ -111,8 +112,10 @@ class DiagReport
     void printText(std::ostream &os, const DiagPolicy &policy = {}) const;
 
     /**
-     * The findings as a JSON array of objects with stable key order
-     * (rule, severity, subject, location, message); suppressed
+     * The report as a versioned JSON document: the sim/json.h envelope
+     * ("schema_version", "kind": "diagnostics"), a "findings" array of
+     * objects with stable key order (rule, severity, subject,
+     * location, message), and "errors"/"warnings" totals. Suppressed
      * findings are omitted and promoted severities are rendered.
      */
     void printJson(std::ostream &os, const DiagPolicy &policy = {}) const;

@@ -8,6 +8,7 @@
 #ifndef MEMENTO_SIM_SIZE_CLASS_H
 #define MEMENTO_SIM_SIZE_CLASS_H
 
+#include <array>
 #include <cstdint>
 
 #include "sim/types.h"
@@ -31,10 +32,35 @@ isSmallSize(std::uint64_t size)
     return size >= 1 && size <= kMaxSmallSize;
 }
 
-/** Class index (0-based) for a small @p size. */
+namespace detail {
+
+/** Compile-time size → class memo for the small range (index 0 unused). */
+constexpr std::array<std::uint8_t, kMaxSmallSize + 1>
+makeSizeClassTable()
+{
+    std::array<std::uint8_t, kMaxSmallSize + 1> table{};
+    for (std::uint64_t size = 1; size <= kMaxSmallSize; ++size) {
+        table[size] = static_cast<std::uint8_t>(
+            (size + kSizeClassStep - 1) / kSizeClassStep - 1);
+    }
+    return table;
+}
+
+inline constexpr auto kSizeClassTable = makeSizeClassTable();
+
+} // namespace detail
+
+/**
+ * Class index (0-based) for a small @p size. The small range resolves
+ * through a compile-time memo table (every allocator model calls this
+ * once per malloc); sizes past kMaxSmallSize keep the arithmetic form
+ * for callers that round before delegating to the large path.
+ */
 constexpr unsigned
 sizeClassIndex(std::uint64_t size)
 {
+    if (size <= kMaxSmallSize)
+        return detail::kSizeClassTable[size];
     return static_cast<unsigned>((size + kSizeClassStep - 1) /
                                  kSizeClassStep) -
            1;

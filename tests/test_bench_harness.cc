@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Self-benchmark harness tests.
+ *
+ * The bench contract: performance numbers (ops/s, percentiles, wall
+ * seconds) are free to vary run to run, but everything simulated —
+ * per-workload cycle counts and machine-state digests — must be
+ * byte-identical at any --jobs level and across repeated invocations.
+ * The JSON document must carry the versioned envelope.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_harness.h"
+
+namespace memento {
+namespace {
+
+BenchOptions
+smokeOptions(unsigned jobs)
+{
+    BenchOptions opts;
+    opts.smoke = true;
+    opts.repeats = 1;
+    opts.jobs = jobs;
+    return opts;
+}
+
+TEST(BenchHarness, SmokeSweepMeasuresEveryWorkload)
+{
+    const BenchReport report = runBench(smokeOptions(1));
+    ASSERT_EQ(report.workloads.size(), 3u);
+    for (const WorkloadBench &wb : report.workloads) {
+        EXPECT_FALSE(wb.id.empty());
+        EXPECT_GT(wb.traceOps, 0u);
+        EXPECT_GT(wb.cycles, 0u);
+        EXPECT_NE(wb.digest, 0u);
+        EXPECT_GT(wb.opsPerSec, 0.0);
+        EXPECT_GT(wb.p50OpNs, 0.0);
+        EXPECT_GE(wb.p99OpNs, wb.p50OpNs);
+    }
+    EXPECT_GT(report.totalOps, 0u);
+    EXPECT_GT(report.totalCycles, 0u);
+    EXPECT_GT(report.jobs1WallSec, 0.0);
+    EXPECT_GT(report.jobsNWallSec, 0.0);
+}
+
+TEST(BenchHarness, SimulatedResultsIdenticalAtAnyJobCount)
+{
+    // Perf numbers are excluded from the comparison by construction:
+    // only ids, cycle counts, and digests are checked.
+    const BenchReport a = runBench(smokeOptions(1));
+    for (unsigned jobs : {2u, 8u}) {
+        const BenchReport b = runBench(smokeOptions(jobs));
+        ASSERT_EQ(a.workloads.size(), b.workloads.size());
+        for (std::size_t i = 0; i < a.workloads.size(); ++i) {
+            EXPECT_EQ(a.workloads[i].id, b.workloads[i].id);
+            EXPECT_EQ(a.workloads[i].traceOps, b.workloads[i].traceOps);
+            EXPECT_EQ(a.workloads[i].cycles, b.workloads[i].cycles)
+                << a.workloads[i].id << " at jobs=" << jobs;
+            EXPECT_EQ(a.workloads[i].digest, b.workloads[i].digest)
+                << a.workloads[i].id << " at jobs=" << jobs;
+        }
+        EXPECT_EQ(a.totalCycles, b.totalCycles);
+    }
+}
+
+TEST(BenchHarness, JsonDocumentCarriesVersionedEnvelope)
+{
+    BenchReport report;
+    report.repeats = 3;
+    report.smoke = true;
+    report.jobsN = 4;
+    WorkloadBench wb;
+    wb.id = "aes";
+    wb.traceOps = 100;
+    wb.cycles = 2000;
+    wb.digest = 0x1234;
+    wb.opsPerSec = 1.5e6;
+    wb.p50OpNs = 250.0;
+    wb.p99OpNs = 900.0;
+    report.workloads.push_back(wb);
+    report.totalOps = 100;
+    report.totalCycles = 2000;
+
+    std::ostringstream os;
+    writeBenchJson(os, report);
+    const std::string doc = os.str();
+
+    EXPECT_EQ(doc.rfind("{\n  \"schema_version\": 1,\n"
+                        "  \"kind\": \"bench\",\n",
+                        0),
+              0u)
+        << doc;
+    EXPECT_NE(doc.find("\"git_sha\": "), std::string::npos);
+    EXPECT_NE(doc.find("\"build_flags\": "), std::string::npos);
+    EXPECT_NE(doc.find("\"workloads\": ["), std::string::npos);
+    EXPECT_NE(doc.find("\"id\": \"aes\""), std::string::npos);
+    EXPECT_NE(doc.find("\"trace_ops\": 100"), std::string::npos);
+    EXPECT_NE(doc.find("\"cycles\": 2000"), std::string::npos);
+    EXPECT_NE(doc.find("\"digest\": \"0000000000001234\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"ops_per_sec\": 1500000"), std::string::npos);
+    EXPECT_NE(doc.find("\"totals\": {"), std::string::npos);
+    EXPECT_EQ(doc.back(), '}');
+}
+
+} // namespace
+} // namespace memento

@@ -408,18 +408,32 @@ TEST(DiagRender, GoldenJson)
     std::ostringstream os;
     r.printJson(os);
     EXPECT_EQ(os.str(),
-              "[\n  {\"rule\": \"trace-double-free\", \"severity\": "
-              "\"error\", \"subject\": \"trace\", \"location\": 2, "
-              "\"message\": \"double free of object 1 (freed at op 1)\"}"
-              "\n]");
+              "{\n"
+              "  \"schema_version\": 1,\n"
+              "  \"kind\": \"diagnostics\",\n"
+              "  \"findings\": [\n"
+              "    {\n"
+              "      \"rule\": \"trace-double-free\",\n"
+              "      \"severity\": \"error\",\n"
+              "      \"subject\": \"trace\",\n"
+              "      \"location\": 2,\n"
+              "      \"message\": \"double free of object 1 (freed at "
+              "op 1)\"\n"
+              "    }\n"
+              "  ],\n"
+              "  \"errors\": 1,\n"
+              "  \"warnings\": 0\n"
+              "}");
 }
 
-TEST(DiagRender, EmptyJsonIsEmptyArray)
+TEST(DiagRender, EmptyJsonHasEmptyFindings)
 {
     DiagReport r;
     std::ostringstream os;
     r.printJson(os);
-    EXPECT_EQ(os.str(), "[]");
+    EXPECT_NE(os.str().find("\"findings\": []"), std::string::npos);
+    EXPECT_NE(os.str().find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(os.str().find("\"errors\": 0"), std::string::npos);
 }
 
 TEST(DiagRender, JsonEscapesSpecialCharacters)

@@ -26,41 +26,37 @@
  *
  *   memento_sim lint-config <file> [options]
  *       Validate a `key = value` config file against the declared
- *       schema: unknown keys (with "did you mean" suggestions),
- *       duplicates, malformed or out-of-range values, and cross-key
- *       contradictions. Exits non-zero when any error remains.
+ *       schema. Exits non-zero when any error remains.
  *
- * Options:
- *   --config FILE     apply `key = value` lines (see sim/config_file.h)
- *   --set key=value   single override (repeatable, applied after file)
- *   --memento         enable the Memento hardware (run only)
- *   --cold            charge container set-up (cold start)
- *   --trace FILE      replay a recorded trace instead of synthesizing
- *   --stats           dump every raw counter after the run
- *   --keep-going      survive failing runs: finish the sweep, then print
- *                     a structured failure report and exit non-zero
- *   --digest          run each workload twice and compare machine-state
- *                     digests (determinism check)
- *   --jobs N          run the sweep on N worker threads (default: the
- *                     hardware concurrency). Output, digests, and the
- *                     failure report are byte-identical at any N.
- *   --json            render check / lint-config findings as a JSON
- *                     array instead of sanitizer-style text
- *   --allow RULE      suppress findings of a rule id (repeatable)
- *   --werror          treat analysis warnings as errors
+ *   memento_sim bench [options]
+ *       Self-benchmark: replay the workload sweep and measure the
+ *       simulator itself (ops/s, per-op latency percentiles, serial
+ *       and parallel sweep wall time). Always writes the versioned
+ *       JSON document to --out (default BENCH_PR6.json); --json also
+ *       prints it to stdout instead of the text summary.
+ *
+ *   memento_sim help [command]
+ *       Render the global usage page or one command's options.
+ *
+ * Every command parses through the shared declarative flag table in
+ * src/cli/options.h: one parser, one --help renderer, one error style.
+ * `memento_sim help <command>` (or `<command> --help`) lists exactly
+ * the flags that command accepts; passing any other flag is an error.
+ *
+ * The check and lint-config --json findings and the bench document all
+ * share the versioned JSON envelope of sim/json.h
+ * (`"schema_version"`, `"kind"`).
  *
  * A failing run (out of memory, bad trace, corruption detected by the
  * invariant checker, watchdog timeout) raises SimError; without
  * --keep-going the first failure stops the sweep. Simulator bugs still
  * panic and user errors on the command line are still fatal.
  *
- * Sweeps (run all / compare all) fan individual runs out over the
- * machine/sweep.h work-stealing pool and merge results back in
+ * Sweeps (run all / compare all / bench) fan individual runs out over
+ * the machine/sweep.h work-stealing pool and merge results back in
  * workload order, so parallelism never changes what gets printed.
  */
 
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <memory>
 #include <iostream>
@@ -69,6 +65,8 @@
 
 #include "an/lifetime.h"
 #include "an/report.h"
+#include "bench/bench_harness.h"
+#include "cli/options.h"
 #include "machine/breakdown.h"
 #include "machine/experiment.h"
 #include "machine/machine.h"
@@ -76,7 +74,6 @@
 #include "sa/config_lint.h"
 #include "sa/diag.h"
 #include "sa/trace_check.h"
-#include "sim/config_file.h"
 #include "sim/error.h"
 #include "sim/logging.h"
 #include "val/digest.h"
@@ -85,20 +82,6 @@
 using namespace memento;
 
 namespace {
-
-struct CliOptions
-{
-    MachineConfig cfg = defaultConfig();
-    bool memento = false;
-    bool cold = false;
-    bool dumpStats = false;
-    bool keepGoing = false;
-    bool digest = false;
-    bool json = false;
-    unsigned jobs = 0; ///< Sweep worker threads; 0 = hw concurrency.
-    std::string traceFile;
-    DiagPolicy diagPolicy; ///< --allow / --werror (check, lint-config).
-};
 
 /** One failed run, kept for the end-of-sweep report. */
 struct FailureRecord
@@ -121,80 +104,6 @@ printFailureReport(const std::vector<FailureRecord> &failures)
         t.cell(f.error.message);
     }
     t.print(std::cout);
-}
-
-void
-usage()
-{
-    std::cerr
-        << "usage: memento_sim <command> [args]\n"
-           "  list                      list built-in workloads\n"
-           "  run <workload> [opts]     run one configuration\n"
-           "  compare <workload>|all    paired baseline vs Memento\n"
-           "  trace <workload> <file>   write the workload's trace\n"
-           "  check <workload>|all      static trace analysis (no sim)\n"
-           "  lint-config <file>        validate a config file\n"
-           "options: --config FILE, --set key=value, --memento, --cold,\n"
-           "         --trace FILE, --stats, --keep-going, --digest,\n"
-           "         --jobs N, --json, --allow RULE, --werror\n";
-}
-
-CliOptions
-parseOptions(const std::vector<std::string> &args, std::size_t from)
-{
-    CliOptions opts;
-    for (std::size_t i = from; i < args.size(); ++i) {
-        const std::string &arg = args[i];
-        auto next = [&]() -> const std::string & {
-            fatal_if(i + 1 >= args.size(), "missing value after ", arg);
-            return args[++i];
-        };
-        if (arg == "--config") {
-            applyConfigFile(next(), opts.cfg);
-        } else if (arg == "--set") {
-            const std::string &kv = next();
-            const std::size_t eq = kv.find('=');
-            fatal_if(eq == std::string::npos,
-                     "--set expects key=value, got ", kv);
-            applyConfigOption(kv.substr(0, eq), kv.substr(eq + 1),
-                              opts.cfg);
-        } else if (arg == "--memento") {
-            opts.memento = true;
-        } else if (arg == "--cold") {
-            opts.cold = true;
-        } else if (arg == "--stats") {
-            opts.dumpStats = true;
-        } else if (arg == "--keep-going") {
-            opts.keepGoing = true;
-        } else if (arg == "--digest") {
-            opts.digest = true;
-        } else if (arg == "--jobs") {
-            const std::string &v = next();
-            char *end = nullptr;
-            const long n = std::strtol(v.c_str(), &end, 10);
-            fatal_if(end == v.c_str() || *end != '\0' || n < 1 ||
-                         n > 4096,
-                     "--jobs expects a positive thread count, got ", v);
-            opts.jobs = static_cast<unsigned>(n);
-        } else if (arg == "--trace") {
-            opts.traceFile = next();
-        } else if (arg == "--json") {
-            opts.json = true;
-        } else if (arg == "--werror") {
-            opts.diagPolicy.werror = true;
-        } else if (arg == "--allow") {
-            const std::string &rule = next();
-            fatal_if(findDiagRule(rule) == nullptr,
-                     "--allow: unknown rule '", rule,
-                     "' (see the rule table in README.md)");
-            opts.diagPolicy.allowed.insert(rule);
-        } else {
-            fatal("unknown option ", arg);
-        }
-    }
-    if (opts.memento)
-        opts.cfg.memento.enabled = true;
-    return opts;
 }
 
 Trace
@@ -505,6 +414,53 @@ cmdTrace(const std::string &id, const std::string &path)
     return 0;
 }
 
+int
+cmdBench(const CliOptions &opts)
+{
+    BenchOptions bopts;
+    bopts.cfg = opts.cfg;
+    bopts.smoke = opts.smoke;
+    bopts.repeats = opts.repeats;
+    bopts.jobs = opts.jobs;
+
+    std::cerr << "benchmarking the " << (bopts.smoke ? "smoke" : "full")
+              << " sweep (" << bopts.repeats
+              << " timed repeat(s) per workload)...\n";
+    const BenchReport report = runBench(bopts);
+
+    std::ofstream out(opts.outFile);
+    fatal_if(!out, "cannot open ", opts.outFile, " for writing");
+    writeBenchJson(out, report);
+    out << "\n";
+
+    if (opts.json) {
+        writeBenchJson(std::cout, report);
+        std::cout << "\n";
+    } else {
+        printBenchText(std::cout, report);
+    }
+    std::cerr << "wrote " << opts.outFile << "\n";
+    return 0;
+}
+
+int
+cmdHelp(const std::vector<std::string> &args)
+{
+    if (args.size() >= 2) {
+        const CommandSpec *spec = findCommand(args[1]);
+        if (!spec) {
+            std::cerr << "memento_sim: unknown command '" << args[1]
+                      << "'\n";
+            printUsage(std::cerr);
+            return 1;
+        }
+        printCommandHelp(std::cout, *spec);
+        return 0;
+    }
+    printUsage(std::cout);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -512,29 +468,57 @@ main(int argc, char **argv)
 {
     std::vector<std::string> args(argv + 1, argv + argc);
     if (args.empty()) {
-        usage();
+        printUsage(std::cerr);
         return 1;
     }
     const std::string &cmd = args[0];
+    if (cmd == "--help" || cmd == "-h")
+        return cmdHelp({"help"});
+    if (cmd == "help")
+        return cmdHelp(args);
+
+    const CommandSpec *spec = findCommand(cmd);
+    if (!spec) {
+        printUsage(std::cerr);
+        return 1;
+    }
+    for (const std::string &arg : args) {
+        if (arg == "--help" || arg == "-h") {
+            printCommandHelp(std::cout, *spec);
+            return 0;
+        }
+    }
+    if (args.size() < 1 + spec->positionals) {
+        printCommandHelp(std::cerr, *spec);
+        return 1;
+    }
     try {
+        const CliOptions opts =
+            parseCommandOptions(*spec, args, 1 + spec->positionals);
+        if (opts.helpRequested) {
+            printCommandHelp(std::cout, *spec);
+            return 0;
+        }
         if (cmd == "list")
             return cmdList();
-        if (cmd == "run" && args.size() >= 2)
-            return cmdRun(args[1], parseOptions(args, 2));
-        if (cmd == "compare" && args.size() >= 2)
-            return cmdCompare(args[1], parseOptions(args, 2));
-        if (cmd == "trace" && args.size() >= 3)
+        if (cmd == "run")
+            return cmdRun(args[1], opts);
+        if (cmd == "compare")
+            return cmdCompare(args[1], opts);
+        if (cmd == "trace")
             return cmdTrace(args[1], args[2]);
-        if (cmd == "check" && args.size() >= 2)
-            return cmdCheck(args[1], parseOptions(args, 2));
-        if (cmd == "lint-config" && args.size() >= 2)
-            return cmdLintConfig(args[1], parseOptions(args, 2));
+        if (cmd == "check")
+            return cmdCheck(args[1], opts);
+        if (cmd == "lint-config")
+            return cmdLintConfig(args[1], opts);
+        if (cmd == "bench")
+            return cmdBench(opts);
     } catch (const SimError &e) {
         std::cerr << "memento_sim: error ("
                   << errorCategoryName(e.category()) << "): " << e.what()
                   << "\n";
         return 1;
     }
-    usage();
+    printUsage(std::cerr);
     return 1;
 }
