@@ -1,13 +1,17 @@
 #include "bench/bench_harness.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <ostream>
+#include <sstream>
 
 #include "machine/function_executor.h"
 #include "machine/machine.h"
+#include "machine/result_store.h"
 #include "machine/sweep.h"
+#include "sim/config_canon.h"
 #include "sim/json.h"
 #include "val/digest.h"
 #include "wl/trace_generator.h"
@@ -26,26 +30,6 @@ double
 secondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/** Commit being benchmarked, or "unknown" outside a git checkout. */
-std::string
-gitSha()
-{
-    FILE *pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
-    if (!pipe)
-        return "unknown";
-    char buf[128];
-    std::string out;
-    if (std::fgets(buf, sizeof buf, pipe))
-        out = buf;
-    ::pclose(pipe);
-    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
-        out.pop_back();
-    if (out.size() < 7 ||
-        out.find_first_not_of("0123456789abcdef") != std::string::npos)
-        return "unknown";
-    return out;
 }
 
 /** q-th percentile (nearest-rank on the sorted samples). */
@@ -112,6 +96,132 @@ benchWorkload(const WorkloadSpec &spec, const Trace &trace,
     return wb;
 }
 
+// ---- Bench result-store cells ----------------------------------------
+//
+// Wall-clock measurements travel as exact IEEE bit patterns: a cached
+// cell must reproduce the original measurement bit-for-bit, so that a
+// full-cache-hit `bench` re-run emits a byte-identical report.
+
+std::uint64_t
+bits(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+double
+fromBits(std::uint64_t b)
+{
+    return std::bit_cast<double>(b);
+}
+
+bool
+cellU64(const JsonValue &obj, std::string_view name, std::uint64_t &out)
+{
+    const JsonValue *v = obj.find(name);
+    if (v == nullptr || !v->isNumber() || !v->isInteger)
+        return false;
+    out = v->u64;
+    return true;
+}
+
+CellKey
+workloadCellKey(const ResultStore &store, const std::string &id,
+                const std::string &canon_cfg, unsigned repeats)
+{
+    return store.derivedKey(
+        {"bench-workload", id, canon_cfg, std::to_string(repeats)});
+}
+
+bool
+loadWorkloadCell(ResultStore &store, const CellKey &key,
+                 const std::string &id, WorkloadBench &wb)
+{
+    std::string payload;
+    if (!store.loadCell(key, "bench", payload))
+        return false;
+    JsonValue doc;
+    std::string err;
+    std::uint64_t ops = 0, p50 = 0, p99 = 0, wall = 0;
+    if (!parseJson(payload, doc, err) || !doc.isObject())
+        return false;
+    const JsonValue *idv = doc.find("id");
+    if (idv == nullptr || !idv->isString() || idv->str != id)
+        return false;
+    if (!cellU64(doc, "trace_ops", wb.traceOps) ||
+        !cellU64(doc, "cycles", wb.cycles) ||
+        !cellU64(doc, "digest", wb.digest) ||
+        !cellU64(doc, "ops_per_sec_bits", ops) ||
+        !cellU64(doc, "p50_bits", p50) || !cellU64(doc, "p99_bits", p99) ||
+        !cellU64(doc, "serial_wall_bits", wall))
+        return false;
+    wb.id = id;
+    wb.opsPerSec = fromBits(ops);
+    wb.p50OpNs = fromBits(p50);
+    wb.p99OpNs = fromBits(p99);
+    wb.serialWallSec = fromBits(wall);
+    return true;
+}
+
+void
+storeWorkloadCell(ResultStore &store, const CellKey &key,
+                  const WorkloadBench &wb)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("id", std::string_view(wb.id));
+    w.member("trace_ops", wb.traceOps);
+    w.member("cycles", wb.cycles);
+    w.member("digest", wb.digest);
+    w.member("ops_per_sec_bits", bits(wb.opsPerSec));
+    w.member("p50_bits", bits(wb.p50OpNs));
+    w.member("p99_bits", bits(wb.p99OpNs));
+    w.member("serial_wall_bits", bits(wb.serialWallSec));
+    w.endObject();
+    store.storeCell(key, "bench", os.str());
+}
+
+CellKey
+totalsCellKey(const ResultStore &store, const std::string &canon_cfg,
+              const BenchOptions &opts)
+{
+    return store.derivedKey({"bench-totals", canon_cfg,
+                             std::to_string(opts.repeats),
+                             opts.smoke ? "smoke" : "full",
+                             std::to_string(opts.jobs)});
+}
+
+bool
+loadTotalsCell(ResultStore &store, const CellKey &key, BenchReport &report)
+{
+    std::string payload;
+    if (!store.loadCell(key, "bench-totals", payload))
+        return false;
+    JsonValue doc;
+    std::string err;
+    std::uint64_t wall = 0, jobs_n = 0;
+    if (!parseJson(payload, doc, err) || !doc.isObject() ||
+        !cellU64(doc, "jobs_n_wall_bits", wall) ||
+        !cellU64(doc, "jobs_n", jobs_n) || jobs_n == 0)
+        return false;
+    report.jobsNWallSec = fromBits(wall);
+    report.jobsN = static_cast<unsigned>(jobs_n);
+    return true;
+}
+
+void
+storeTotalsCell(ResultStore &store, const CellKey &key,
+                const BenchReport &report)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("jobs_n_wall_bits", bits(report.jobsNWallSec));
+    w.member("jobs_n", static_cast<std::uint64_t>(report.jobsN));
+    w.endObject();
+    store.storeCell(key, "bench-totals", os.str());
+}
+
 } // namespace
 
 BenchReport
@@ -120,41 +230,77 @@ runBench(const BenchOptions &opts)
     std::vector<WorkloadSpec> specs = allWorkloads();
     if (opts.smoke)
         specs.resize(std::min<std::size_t>(specs.size(), 3));
+    if (opts.shardCount > 1) {
+        std::vector<WorkloadSpec> mine;
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            if (i % opts.shardCount == opts.shardIndex)
+                mine.push_back(specs[i]);
+        }
+        specs = std::move(mine);
+    }
 
     BenchReport report;
     report.repeats = opts.repeats;
     report.smoke = opts.smoke;
 
-    // Synthesize every trace up front (untimed): the bench measures
-    // replay, and this is also what sweeps do via their TraceCache.
-    std::vector<Trace> traces;
-    traces.reserve(specs.size());
-    for (const WorkloadSpec &spec : specs)
-        traces.push_back(TraceGenerator(spec).generate());
+    const std::string canon_cfg =
+        opts.store != nullptr ? canonicalConfigText(opts.cfg)
+                              : std::string();
 
-    // Phase 1: per-workload measurements plus the serial sweep time.
-    const auto serial_start = Clock::now();
+    // Phase 1: per-workload measurements plus the serial sweep time
+    // (the sum of per-workload serial seconds — one replay each).
+    // Cached cells reproduce their original measurement and skip even
+    // trace synthesis; traces are kept for the jobs-N phase and
+    // synthesized lazily there for workloads served from cache.
+    std::vector<std::shared_ptr<const Trace>> traces(specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i) {
-        WorkloadBench wb = benchWorkload(specs[i], traces[i], opts);
+        WorkloadBench wb;
+        CellKey key;
+        bool cached = false;
+        if (opts.store != nullptr) {
+            key = workloadCellKey(*opts.store, specs[i].id, canon_cfg,
+                                  opts.repeats);
+            cached = loadWorkloadCell(*opts.store, key, specs[i].id, wb);
+        }
+        if (!cached) {
+            traces[i] = std::make_shared<const Trace>(
+                TraceGenerator(specs[i]).generate());
+            const auto start = Clock::now();
+            wb = benchWorkload(specs[i], *traces[i], opts);
+            // One replay per workload is the sweep-comparable serial
+            // time; the measurement ran repeats + 1 replays.
+            wb.serialWallSec = secondsSince(start) /
+                               static_cast<double>(opts.repeats + 1);
+            if (opts.store != nullptr)
+                storeWorkloadCell(*opts.store, key, wb);
+        }
         report.totalOps += wb.traceOps;
         report.totalCycles += wb.cycles;
+        report.jobs1WallSec += wb.serialWallSec;
         report.workloads.push_back(std::move(wb));
     }
-    // One replay per workload is the sweep-comparable serial time; the
-    // measurement loop above ran repeats + 1 replays per workload.
-    report.jobs1WallSec =
-        secondsSince(serial_start) /
-        static_cast<double>(opts.repeats + 1);
     if (report.jobs1WallSec > 0.0)
         report.aggregateOpsPerSec =
             static_cast<double>(report.totalOps) / report.jobs1WallSec;
 
-    // Phase 2: the same sweep through the work-stealing engine.
+    // Phase 2: the same sweep through the work-stealing engine. A
+    // shard cannot measure the full sweep, so the totals cell is only
+    // produced (and consumed) by unsharded runs; a post-merge full run
+    // re-measures it once and caches it.
+    CellKey totals_key;
+    if (opts.store != nullptr && opts.shardCount == 1) {
+        totals_key = totalsCellKey(*opts.store, canon_cfg, opts);
+        if (loadTotalsCell(*opts.store, totals_key, report))
+            return report;
+    }
     std::vector<SweepTask> tasks;
     tasks.reserve(specs.size());
-    for (std::size_t i = 0; i < specs.size(); ++i)
-        tasks.push_back({specs[i], opts.cfg, RunOptions{},
-                         std::make_shared<const Trace>(traces[i])});
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (traces[i] == nullptr)
+            traces[i] = std::make_shared<const Trace>(
+                TraceGenerator(specs[i]).generate());
+        tasks.push_back({specs[i], opts.cfg, RunOptions{}, traces[i], {}});
+    }
     SweepOptions sweep_opts;
     sweep_opts.jobs = opts.jobs;
     SweepEngine engine(sweep_opts);
@@ -162,6 +308,8 @@ runBench(const BenchOptions &opts)
     const auto par_start = Clock::now();
     engine.run(tasks);
     report.jobsNWallSec = secondsSince(par_start);
+    if (opts.store != nullptr && opts.shardCount == 1)
+        storeTotalsCell(*opts.store, totals_key, report);
     return report;
 }
 
@@ -171,7 +319,7 @@ writeBenchJson(std::ostream &os, const BenchReport &report)
     JsonWriter w(os);
     w.beginObject();
     writeSchemaHeader(w, "bench");
-    w.member("git_sha", gitSha());
+    w.member("git_sha", codeVersionString());
     w.member("compiler", __VERSION__);
     w.member("build_flags", MEMENTO_BUILD_FLAGS);
     w.member("smoke", report.smoke);

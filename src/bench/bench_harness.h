@@ -36,6 +36,8 @@
 
 namespace memento {
 
+class ResultStore;
+
 /** What to benchmark. */
 struct BenchOptions
 {
@@ -46,6 +48,16 @@ struct BenchOptions
     unsigned repeats = 3;
     /** Workers for the jobs-N phase; 0 = hardware concurrency. */
     unsigned jobs = 0;
+    /**
+     * Result store for cached/resumable benching (--cache). Perf
+     * numbers are wall-clock, so cached cells reproduce the *original*
+     * measurement bit-for-bit — a full-hit re-run emits a
+     * byte-identical report. Null disables caching. Not owned.
+     */
+    ResultStore *store = nullptr;
+    /** Shard selection: bench workloads with index % count == index. */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
 };
 
 /** Per-workload measurements. */
@@ -62,6 +74,12 @@ struct WorkloadBench
     /** Per-op wall latency percentiles from the chunked pass. */
     double p50OpNs = 0.0;
     double p99OpNs = 0.0;
+    /**
+     * Sweep-comparable serial seconds for this workload (measurement
+     * wall time over repeats + 1 replays). Feeds the report's
+     * jobs1_wall_sec total; not itself in the JSON document.
+     */
+    double serialWallSec = 0.0;
 };
 
 /** The full bench result. */

@@ -13,6 +13,8 @@
  * All pre-existing flag spellings (`--config`, `--set`, `--memento`,
  * `--cold`, `--trace`, `--stats`, `--keep-going`, `--digest`,
  * `--jobs`, `--json`, `--allow`, `--werror`) are preserved verbatim.
+ * The crash-safe sweep layer adds `--cache DIR`, `--no-cache`,
+ * `--shard I/N`, `--retry N`, and `--revalidate`.
  *
  * Parse errors raise the usual fatal() path (user error, exit 1).
  * `--help` anywhere in a command's options sets
@@ -46,6 +48,10 @@ struct CliOptions
     bool json = false;
     /** bench: run the reduced smoke sweep instead of all workloads. */
     bool smoke = false;
+    /** --no-cache: ignore sweep.cache_dir from config files. */
+    bool noCache = false;
+    /** --revalidate: recompute a sample of cache hits and compare. */
+    bool revalidate = false;
     /** --help was seen; render help and exit 0 without running. */
     bool helpRequested = false;
     unsigned jobs = 0; ///< Sweep worker threads; 0 = hw concurrency.

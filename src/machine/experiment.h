@@ -34,7 +34,15 @@ struct RunError
     bool operator==(const RunError &) const = default;
 };
 
-/** Metrics of one run (deltas over the measurement window). */
+/**
+ * Metrics of one run (deltas over the measurement window).
+ *
+ * Serialization contract: RunResult is persisted by the result store
+ * (machine/result_store.cc). A new metric field must be added to the
+ * store's writer/loader pair — the store's round-trip test compares
+ * with operator== and will catch a loader that drops it, but only if
+ * the test's sample result sets the field to a non-default value.
+ */
 struct RunResult
 {
     std::string workload;

@@ -1,0 +1,490 @@
+#include "machine/result_store.h"
+
+#include <algorithm>
+#include <bit>
+#include <filesystem>
+#include <sstream>
+
+#include <unistd.h>
+#include <fcntl.h>
+
+#include "sim/atomic_io.h"
+#include "sim/config_canon.h"
+#include "sim/error.h"
+#include "sim/json.h"
+#include "val/digest.h"
+
+namespace memento {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::uint64_t
+checksumOf(std::string_view payload)
+{
+    DigestBuilder d;
+    d.add(payload);
+    return d.value();
+}
+
+std::string
+headerLine(std::string_view cell_kind, std::string_view key_hex,
+           std::size_t payload_bytes, std::uint64_t checksum)
+{
+    std::ostringstream os;
+    os << "{\"schema_version\": " << kJsonSchemaVersion
+       << ", \"kind\": \"result-cell\", \"cell_kind\": \""
+       << jsonEscape(cell_kind) << "\", \"key\": \"" << key_hex
+       << "\", \"payload_bytes\": " << payload_bytes
+       << ", \"checksum\": \"" << digestToHex(checksum) << "\"}";
+    return os.str();
+}
+
+/**
+ * Validate one record's bytes. Fills @p cell_kind and @p payload (a
+ * view into @p record) on success. @p expect_key_hex restricts the
+ * header's key ("" accepts any).
+ */
+bool
+validateRecord(const std::string &record, std::string_view expect_key_hex,
+               std::string &cell_kind, std::string_view &payload)
+{
+    const std::size_t nl = record.find('\n');
+    if (nl == std::string::npos)
+        return false;
+
+    JsonValue header;
+    std::string err;
+    if (!parseJson(std::string_view(record).substr(0, nl), header, err) ||
+        !header.isObject())
+        return false;
+
+    const JsonValue *version = header.find("schema_version");
+    const JsonValue *kind = header.find("kind");
+    const JsonValue *ckind = header.find("cell_kind");
+    const JsonValue *key = header.find("key");
+    const JsonValue *bytes = header.find("payload_bytes");
+    const JsonValue *checksum = header.find("checksum");
+    if (version == nullptr || !version->isNumber() || !version->isInteger ||
+        version->u64 != kJsonSchemaVersion)
+        return false;
+    if (kind == nullptr || !kind->isString() || kind->str != "result-cell")
+        return false;
+    if (ckind == nullptr || !ckind->isString())
+        return false;
+    if (key == nullptr || !key->isString())
+        return false;
+    if (!expect_key_hex.empty() && key->str != expect_key_hex)
+        return false;
+    if (bytes == nullptr || !bytes->isNumber() || !bytes->isInteger)
+        return false;
+    if (checksum == nullptr || !checksum->isString())
+        return false;
+
+    const std::string_view body = std::string_view(record).substr(nl + 1);
+    if (body.size() != bytes->u64)
+        return false;
+    if (digestToHex(checksumOf(body)) != checksum->str)
+        return false;
+
+    cell_kind = ckind->str;
+    payload = body;
+    return true;
+}
+
+// ---- RunResult payload (de)serialization -----------------------------
+
+/** Doubles travel as exact bit patterns: cache hits must be bit-true. */
+std::uint64_t
+doubleBits(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+double
+bitsToDouble(std::uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+bool
+getU64(const JsonValue &obj, std::string_view name, std::uint64_t &out)
+{
+    const JsonValue *v = obj.find(name);
+    if (v == nullptr || !v->isNumber() || !v->isInteger)
+        return false;
+    out = v->u64;
+    return true;
+}
+
+bool
+getString(const JsonValue &obj, std::string_view name, std::string &out)
+{
+    const JsonValue *v = obj.find(name);
+    if (v == nullptr || !v->isString())
+        return false;
+    out = v->str;
+    return true;
+}
+
+std::string
+runPayload(const RunResult &r, unsigned attempts)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("workload", std::string_view(r.workload));
+    w.member("cycles", r.cycles);
+    w.key("by_category").beginArray();
+    for (const Cycles c : r.byCategory)
+        w.value(c);
+    w.endArray();
+    w.member("instructions", r.instructions);
+    w.member("dram_bytes", r.dramBytes);
+    w.member("dram_reads", r.dramReads);
+    w.member("dram_writes", r.dramWrites);
+    w.member("bypassed_lines", r.bypassedLines);
+    w.member("agg_user_pages", r.aggUserPages);
+    w.member("agg_kernel_pages", r.aggKernelPages);
+    w.member("peak_resident_pages", r.peakResidentPages);
+    w.member("page_faults", r.pageFaults);
+    w.member("mmap_calls", r.mmapCalls);
+    w.member("pool_refills", r.poolRefills);
+    w.member("hot_alloc_hits", r.hotAllocHits);
+    w.member("hot_alloc_misses", r.hotAllocMisses);
+    w.member("hot_free_hits", r.hotFreeHits);
+    w.member("hot_free_misses", r.hotFreeMisses);
+    w.member("alloc_list_ops", r.allocListOps);
+    w.member("free_list_ops", r.freeListOps);
+    w.member("obj_allocs", r.objAllocs);
+    w.member("obj_frees", r.objFrees);
+    w.member("frag_inactive_bits", doubleBits(r.fragInactiveFraction));
+    if (r.error.has_value()) {
+        w.key("error").beginObject();
+        w.member("category", errorCategoryName(r.error->category));
+        w.member("message", std::string_view(r.error->message));
+        w.member("op_index", r.error->opIndex);
+        w.endObject();
+    } else {
+        w.key("error").valueNull();
+    }
+    w.member("digest", r.digest);
+    w.member("attempts", static_cast<std::uint64_t>(attempts));
+    w.endObject();
+    return os.str();
+}
+
+bool
+parseRunPayload(std::string_view payload, RunResult &r, unsigned &attempts)
+{
+    JsonValue doc;
+    std::string err;
+    if (!parseJson(payload, doc, err) || !doc.isObject())
+        return false;
+
+    if (!getString(doc, "workload", r.workload))
+        return false;
+    if (!getU64(doc, "cycles", r.cycles))
+        return false;
+
+    const JsonValue *cats = doc.find("by_category");
+    if (cats == nullptr || !cats->isArray() ||
+        cats->items.size() != r.byCategory.size())
+        return false;
+    for (std::size_t i = 0; i < r.byCategory.size(); ++i) {
+        const JsonValue &c = cats->items[i];
+        if (!c.isNumber() || !c.isInteger)
+            return false;
+        r.byCategory[i] = c.u64;
+    }
+
+    std::uint64_t frag_bits = 0;
+    if (!getU64(doc, "instructions", r.instructions) ||
+        !getU64(doc, "dram_bytes", r.dramBytes) ||
+        !getU64(doc, "dram_reads", r.dramReads) ||
+        !getU64(doc, "dram_writes", r.dramWrites) ||
+        !getU64(doc, "bypassed_lines", r.bypassedLines) ||
+        !getU64(doc, "agg_user_pages", r.aggUserPages) ||
+        !getU64(doc, "agg_kernel_pages", r.aggKernelPages) ||
+        !getU64(doc, "peak_resident_pages", r.peakResidentPages) ||
+        !getU64(doc, "page_faults", r.pageFaults) ||
+        !getU64(doc, "mmap_calls", r.mmapCalls) ||
+        !getU64(doc, "pool_refills", r.poolRefills) ||
+        !getU64(doc, "hot_alloc_hits", r.hotAllocHits) ||
+        !getU64(doc, "hot_alloc_misses", r.hotAllocMisses) ||
+        !getU64(doc, "hot_free_hits", r.hotFreeHits) ||
+        !getU64(doc, "hot_free_misses", r.hotFreeMisses) ||
+        !getU64(doc, "alloc_list_ops", r.allocListOps) ||
+        !getU64(doc, "free_list_ops", r.freeListOps) ||
+        !getU64(doc, "obj_allocs", r.objAllocs) ||
+        !getU64(doc, "obj_frees", r.objFrees) ||
+        !getU64(doc, "frag_inactive_bits", frag_bits) ||
+        !getU64(doc, "digest", r.digest))
+        return false;
+    r.fragInactiveFraction = bitsToDouble(frag_bits);
+
+    const JsonValue *error = doc.find("error");
+    if (error == nullptr)
+        return false;
+    if (error->type == JsonValue::Type::Null) {
+        r.error.reset();
+    } else if (error->isObject()) {
+        RunError re;
+        std::string category;
+        if (!getString(*error, "category", category) ||
+            !errorCategoryFromName(category, re.category) ||
+            !getString(*error, "message", re.message) ||
+            !getU64(*error, "op_index", re.opIndex))
+            return false;
+        r.error = std::move(re);
+    } else {
+        return false;
+    }
+
+    std::uint64_t attempts64 = 0;
+    if (!getU64(doc, "attempts", attempts64) || attempts64 == 0 ||
+        attempts64 > 1u << 20)
+        return false;
+    attempts = static_cast<unsigned>(attempts64);
+    return true;
+}
+
+} // namespace
+
+std::string
+CellKey::hex() const
+{
+    return digestToHex(digest);
+}
+
+ResultStore::ResultStore(ResultStoreOptions opts) : opts_(std::move(opts))
+{
+    if (opts_.codeVersion.empty())
+        opts_.codeVersion = codeVersionString();
+    std::error_code ec;
+    fs::create_directories(opts_.dir, ec);
+    sim_error_if(ec || !fs::is_directory(opts_.dir), ErrorCategory::Config,
+                 "cannot create result-store directory ", opts_.dir,
+                 ec ? ": " + ec.message() : std::string());
+}
+
+CellKey
+ResultStore::runCellKey(const std::string &workload,
+                        const MachineConfig &cfg, const RunOptions &opts,
+                        std::string_view salt) const
+{
+    DigestBuilder d;
+    d.add(std::string_view("memento-run-cell"));
+    d.add(std::string_view(opts_.codeVersion));
+    d.add(std::string_view(workload));
+    d.add(std::string_view(canonicalConfigText(cfg)));
+    d.add(static_cast<std::uint64_t>(opts.coldStart));
+    d.add(static_cast<std::uint64_t>(opts.chargeRpc));
+    d.add(static_cast<std::uint64_t>(opts.computeDigest));
+    d.add(salt);
+    return CellKey{d.value()};
+}
+
+CellKey
+ResultStore::derivedKey(std::initializer_list<std::string_view> parts) const
+{
+    DigestBuilder d;
+    d.add(std::string_view("memento-derived-cell"));
+    d.add(std::string_view(opts_.codeVersion));
+    for (const std::string_view part : parts)
+        d.add(part);
+    return CellKey{d.value()};
+}
+
+std::string
+ResultStore::cellPath(const CellKey &key) const
+{
+    return opts_.dir + "/" + key.hex() + ".cell";
+}
+
+bool
+ResultStore::loadCell(const CellKey &key, std::string_view cell_kind,
+                      std::string &payload)
+{
+    std::string record;
+    if (!readFile(cellPath(key), record)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.misses;
+        return false;
+    }
+
+    std::string stored_kind;
+    std::string_view body;
+    if (!validateRecord(record, key.hex(), stored_kind, body) ||
+        stored_kind != cell_kind) {
+        quarantine(key);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.misses;
+        return false;
+    }
+
+    payload.assign(body);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+    return true;
+}
+
+void
+ResultStore::storeCell(const CellKey &key, std::string_view cell_kind,
+                       std::string_view payload)
+{
+    const std::string hex = key.hex();
+    std::string record =
+        headerLine(cell_kind, hex, payload.size(), checksumOf(payload));
+    record += '\n';
+    record.append(payload.data(), payload.size());
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++storeCounter_;
+    if (opts_.tornWriteAt != 0 && storeCounter_ == opts_.tornWriteAt) {
+        // Crash injection: leave half a record under the *final* name
+        // (bypassing the atomic path on purpose) and die, simulating
+        // the worst a broken filesystem can do to us.
+        const std::string path = cellPath(key);
+        const int fd =
+            ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+            const std::size_t half = record.size() / 2;
+            [[maybe_unused]] const ssize_t n =
+                ::write(fd, record.data(), half);
+            ::close(fd);
+        }
+        ::_exit(121);
+    }
+
+    writeFileAtomic(cellPath(key), record);
+    ++stats_.stores;
+    if (opts_.killAt != 0 && stats_.stores == opts_.killAt) {
+        // Crash injection: the record above is complete and durable;
+        // die without unwinding, as SIGKILL would.
+        ::_exit(137);
+    }
+}
+
+bool
+ResultStore::loadRun(const CellKey &key, RunResult &out, unsigned &attempts)
+{
+    std::string payload;
+    if (!loadCell(key, "run", payload))
+        return false;
+
+    RunResult parsed;
+    unsigned parsed_attempts = 1;
+    if (!parseRunPayload(payload, parsed, parsed_attempts)) {
+        quarantine(key);
+        std::lock_guard<std::mutex> lock(mu_);
+        --stats_.hits;
+        ++stats_.misses;
+        return false;
+    }
+    out = std::move(parsed);
+    attempts = parsed_attempts;
+    return true;
+}
+
+void
+ResultStore::storeRun(const CellKey &key, const RunResult &result,
+                      unsigned attempts)
+{
+    storeCell(key, "run", runPayload(result, attempts));
+}
+
+bool
+ResultStore::inRevalidateSample(const CellKey &key, unsigned every) const
+{
+    if (every == 0)
+        return false;
+    if (every == 1)
+        return true;
+    return key.digest % every == 0;
+}
+
+void
+ResultStore::quarantine(const CellKey &key)
+{
+    const std::string path = cellPath(key);
+    const std::string aside = opts_.dir + "/" + key.hex() + ".quarantined";
+    std::error_code ec;
+    fs::rename(path, aside, ec);
+    if (!ec) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.quarantined;
+    }
+}
+
+void
+ResultStore::noteRevalidated()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.revalidated;
+}
+
+MergeStats
+ResultStore::mergeFrom(const std::string &src_dir)
+{
+    MergeStats out;
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (fs::directory_iterator it(src_dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        if (it->path().extension() == ".cell")
+            names.push_back(it->path().filename().string());
+    }
+    sim_error_if(ec, ErrorCategory::Config, "cannot list ", src_dir, ": ",
+                 ec.message());
+    std::sort(names.begin(), names.end());
+
+    for (const std::string &name : names) {
+        const std::string expect_key = name.substr(0, name.size() - 5);
+        std::string record;
+        std::string stored_kind;
+        std::string_view body;
+        if (!readFile(src_dir + "/" + name, record) ||
+            !validateRecord(record, expect_key, stored_kind, body)) {
+            ++out.corrupt;
+            continue;
+        }
+
+        const std::string dest = opts_.dir + "/" + name;
+        std::string existing;
+        std::string existing_kind;
+        std::string_view existing_body;
+        if (readFile(dest, existing) &&
+            validateRecord(existing, expect_key, existing_kind,
+                           existing_body)) {
+            ++out.duplicates;
+            continue;
+        }
+        writeFileAtomic(dest, record);
+        ++out.merged;
+    }
+    return out;
+}
+
+std::vector<std::string>
+ResultStore::listCellFiles() const
+{
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (fs::directory_iterator it(opts_.dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        if (it->path().extension() == ".cell")
+            names.push_back(it->path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+StoreStats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace memento

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Content-addressed on-disk result store: the persistence layer that
+ * makes sweeps crash-safe, resumable, and shardable.
+ *
+ * Every sweep cell (one workload run under one configuration) is keyed
+ * by an FNV-1a digest of (workload id, canonical configuration text,
+ * run options, code version) — see sim/config_canon.h — so a cache hit
+ * is only possible when *nothing* that could change the result has
+ * changed. Each cell is one file `<16-hex-key>.cell` in the store
+ * directory:
+ *
+ *     {"schema_version": 1, "kind": "result-cell", "cell_kind": "run",
+ *      "key": "<16hex>", "payload_bytes": N, "checksum": "<16hex>"}\n
+ *     <N bytes of payload JSON>
+ *
+ * The checksum is FNV-1a over the exact payload bytes, and the whole
+ * record is written via writeFileAtomic() (temp + fsync + rename), so
+ * a crash at any instant leaves either no file or a complete valid
+ * record under the final name. Defense in depth: even if a torn or
+ * bit-flipped record *does* appear (hardware, filesystem bugs, or the
+ * inject.store_torn_write test fault), loading detects the damage —
+ * header unparseable, payload length short, or checksum mismatch —
+ * quarantines the file (renamed to `<key>.quarantined`) and reports a
+ * miss, so the cell is simply recomputed. Corruption is never fatal.
+ *
+ * Stores from different shards of the same sweep are disjoint-or-equal
+ * by construction (same key => same content), which is what makes
+ * `memento_sim merge` a trivial validated file union.
+ *
+ * Thread safety: all public methods are safe to call concurrently;
+ * distinct cells go to distinct files and counters are mutex-guarded.
+ */
+
+#ifndef MEMENTO_MACHINE_RESULT_STORE_H
+#define MEMENTO_MACHINE_RESULT_STORE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "machine/experiment.h"
+#include "machine/function_executor.h"
+#include "sim/config.h"
+
+namespace memento {
+
+/** Content address of one cell (16-hex-digit FNV-1a digest). */
+struct CellKey
+{
+    std::uint64_t digest = 0;
+
+    std::string hex() const;
+
+    bool operator==(const CellKey &) const = default;
+};
+
+struct ResultStoreOptions
+{
+    /** Store directory (created on construction if absent). */
+    std::string dir;
+    /**
+     * Code version folded into every key; defaults to
+     * codeVersionString(). Tests override it to pin keys.
+     */
+    std::string codeVersion;
+    /** Crash injection: tear the Nth storeCell() in half and _exit. */
+    std::uint64_t tornWriteAt = 0;
+    /** Crash injection: _exit right after the Nth completed store. */
+    std::uint64_t killAt = 0;
+};
+
+/** Hit/miss/corruption counters (reported to stderr, never stdout). */
+struct StoreStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t revalidated = 0;
+};
+
+/** Outcome of merging one source store into this one. */
+struct MergeStats
+{
+    std::uint64_t merged = 0;     ///< New cells copied in.
+    std::uint64_t duplicates = 0; ///< Already present (kept ours).
+    std::uint64_t corrupt = 0;    ///< Source records that failed validation.
+};
+
+class ResultStore
+{
+  public:
+    /**
+     * Opens (creating if needed) the store at opts.dir.
+     * Throws SimError(Config) when the directory cannot be created.
+     */
+    explicit ResultStore(ResultStoreOptions opts);
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    const std::string &dir() const { return opts_.dir; }
+
+    // ---- Key derivation ----
+
+    /** Key of one run cell. @p salt disambiguates deliberate re-runs. */
+    CellKey runCellKey(const std::string &workload,
+                       const MachineConfig &cfg, const RunOptions &opts,
+                       std::string_view salt = {}) const;
+
+    /** Key from arbitrary tagged parts (bench cells and the like). */
+    CellKey derivedKey(std::initializer_list<std::string_view> parts) const;
+
+    // ---- Generic cell layer ----
+
+    /**
+     * Load the cell @p key. Returns true and fills @p payload on a
+     * validated hit. A missing file is a miss; a damaged file is
+     * quarantined and reported as a miss. @p cell_kind must match the
+     * stored record's kind (a mismatch is damage).
+     */
+    bool loadCell(const CellKey &key, std::string_view cell_kind,
+                  std::string &payload);
+
+    /** Atomically persist the cell @p key (last writer wins). */
+    void storeCell(const CellKey &key, std::string_view cell_kind,
+                   std::string_view payload);
+
+    // ---- RunResult cells ----
+
+    /**
+     * Load a run cell into @p out / @p attempts. A record whose payload
+     * no longer parses as a RunResult is quarantined like any other
+     * damage. The stored result may itself be a captured failure
+     * (out.failed()) — cached failures are first-class.
+     */
+    bool loadRun(const CellKey &key, RunResult &out, unsigned &attempts);
+
+    /** Persist one run outcome (success or captured failure). */
+    void storeRun(const CellKey &key, const RunResult &result,
+                  unsigned attempts);
+
+    // ---- Revalidation / maintenance ----
+
+    /**
+     * True when @p key falls in the 1-in-@p every revalidation sample
+     * (0 = never, 1 = always). Deterministic in the key.
+     */
+    bool inRevalidateSample(const CellKey &key, unsigned every) const;
+
+    /** Move a damaged record aside; harmless if already gone. */
+    void quarantine(const CellKey &key);
+
+    /** Count a successful revalidation (stats only). */
+    void noteRevalidated();
+
+    /**
+     * Validated union: copy every valid cell from @p src_dir that this
+     * store does not already hold. Corrupt source records are counted
+     * and skipped, never copied.
+     */
+    MergeStats mergeFrom(const std::string &src_dir);
+
+    /** Sorted `<key>.cell` file names in this store. */
+    std::vector<std::string> listCellFiles() const;
+
+    StoreStats stats() const;
+
+  private:
+    std::string cellPath(const CellKey &key) const;
+
+    ResultStoreOptions opts_;
+    mutable std::mutex mu_;
+    StoreStats stats_;
+    /** storeCell() invocation counter driving the crash injections. */
+    std::uint64_t storeCounter_ = 0;
+};
+
+} // namespace memento
+
+#endif // MEMENTO_MACHINE_RESULT_STORE_H

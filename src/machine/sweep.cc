@@ -1,10 +1,12 @@
 #include "machine/sweep.h"
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <mutex>
 #include <thread>
 
+#include "machine/result_store.h"
 #include "sim/error.h"
 #include "sim/logging.h"
 
@@ -137,6 +139,14 @@ SweepEngine::run(const std::vector<SweepTask> &tasks)
         SweepOutcome &out = outcomes[idx];
         out.result.workload = task.spec.id;
 
+        // Cooperative stop (SIGINT): completed cells are already
+        // durable; everything not yet started resumes next run.
+        if (opts_.stopFlag != nullptr &&
+            opts_.stopFlag->load(std::memory_order_relaxed)) {
+            out.skipped = true;
+            return;
+        }
+
         // Serial semantics: without keep-going, the serial sweep never
         // starts a task ordered after a failure. A concurrent sibling
         // may already have run — the merge stops before reporting it.
@@ -157,24 +167,94 @@ SweepEngine::run(const std::vector<SweepTask> &tasks)
         if (opts_.watchdogMaxCycles != 0 && cfg.check.maxCycles == 0)
             cfg.check.maxCycles = opts_.watchdogMaxCycles;
 
-        try {
-            std::shared_ptr<const Trace> trace =
-                task.trace ? task.trace : cache_.get(task.spec);
-            out.result =
-                Experiment::tryRunOne(task.spec, *trace, cfg, task.opts);
-        } catch (const SimError &e) {
-            // tryRunOne already captures SimError; this arm only
-            // catches set-up failures outside it (trace synthesis).
-            out.result.error =
-                RunError{e.category(), e.what(), e.opIndex()};
-        } catch (const std::exception &e) {
-            // Anything unexpected must not escape the worker thread
-            // (std::terminate would tear the whole sweep down).
-            out.result.error =
-                RunError{ErrorCategory::Internal,
-                         std::string("worker: ") + e.what(),
-                         SimError::kNoOpIndex};
+        // One attempt: run the cell, capturing any failure in-result.
+        auto execute_once = [&]() -> RunResult {
+            RunResult result;
+            result.workload = task.spec.id;
+            try {
+                std::shared_ptr<const Trace> trace =
+                    task.trace ? task.trace : cache_.get(task.spec);
+                return Experiment::tryRunOne(task.spec, *trace, cfg,
+                                             task.opts);
+            } catch (const SimError &e) {
+                // tryRunOne already captures SimError; this arm only
+                // catches set-up failures outside it (trace synthesis).
+                result.error =
+                    RunError{e.category(), e.what(), e.opIndex()};
+            } catch (const std::exception &e) {
+                // Anything unexpected must not escape the worker thread
+                // (std::terminate would tear the whole sweep down).
+                result.error =
+                    RunError{ErrorCategory::Internal,
+                             std::string("worker: ") + e.what(),
+                             SimError::kNoOpIndex};
+            }
+            return result;
+        };
+
+        // The cell's content address, derived from the *effective*
+        // config (after watchdog defaulting) so a cell never aliases
+        // across different effective watchdog budgets.
+        CellKey key;
+        if (opts_.store != nullptr && task.trace == nullptr) {
+            key = opts_.store->runCellKey(task.spec.id, cfg, task.opts,
+                                          task.cacheSalt);
+            RunResult cached;
+            unsigned cached_attempts = 1;
+            if (opts_.store->loadRun(key, cached, cached_attempts)) {
+                if (opts_.store->inRevalidateSample(
+                        key, opts_.revalidateEvery)) {
+                    const RunResult recomputed = execute_once();
+                    if (recomputed == cached) {
+                        opts_.store->noteRevalidated();
+                    } else {
+                        // The cache lied. Heal the store (quarantine
+                        // the bad record, persist the recomputed one)
+                        // and fail the cell loudly.
+                        opts_.store->quarantine(key);
+                        opts_.store->storeRun(key, recomputed, 1);
+                        out.result = recomputed;
+                        out.result.error = RunError{
+                            ErrorCategory::Corruption,
+                            "revalidate: cached result for cell " +
+                                key.hex() +
+                                " diverges from recomputation (record "
+                                "quarantined, store healed)",
+                            SimError::kNoOpIndex};
+                        if (!opts_.keepGoing)
+                            atomicMin(first_failure, idx);
+                        return;
+                    }
+                }
+                out.result = std::move(cached);
+                out.attempts = cached_attempts;
+                out.fromCache = true;
+                if (out.result.failed() && !opts_.keepGoing)
+                    atomicMin(first_failure, idx);
+                return;
+            }
         }
+
+        // Per-cell fault isolation: a failed attempt is retried with a
+        // deterministic exponential backoff before the cell is given
+        // up on. The backoff is real time, but the *outcome* is pure
+        // function of the attempt count, so reports stay byte-stable.
+        unsigned attempt = 0;
+        for (;;) {
+            ++attempt;
+            out.result = execute_once();
+            if (!out.result.failed() || attempt > opts_.retries)
+                break;
+            if (opts_.stopFlag != nullptr &&
+                opts_.stopFlag->load(std::memory_order_relaxed))
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                5ull << std::min(attempt, 4u)));
+        }
+        out.attempts = attempt;
+
+        if (opts_.store != nullptr && task.trace == nullptr)
+            opts_.store->storeRun(key, out.result, out.attempts);
 
         if (out.result.failed() && !opts_.keepGoing)
             atomicMin(first_failure, idx);
@@ -200,9 +280,9 @@ compareSweep(const std::vector<WorkloadSpec> &specs,
     std::vector<SweepTask> tasks;
     tasks.reserve(specs.size() * 3);
     for (const WorkloadSpec &spec : specs) {
-        tasks.push_back({spec, base_cfg, run_opts, nullptr});
-        tasks.push_back({spec, memento_cfg, run_opts, nullptr});
-        tasks.push_back({spec, no_bypass_cfg, run_opts, nullptr});
+        tasks.push_back({spec, base_cfg, run_opts, nullptr, {}});
+        tasks.push_back({spec, memento_cfg, run_opts, nullptr, {}});
+        tasks.push_back({spec, no_bypass_cfg, run_opts, nullptr, {}});
     }
 
     const std::vector<SweepOutcome> outcomes = engine.run(tasks);
@@ -215,11 +295,16 @@ compareSweep(const std::vector<WorkloadSpec> &specs,
         out.cmp.memento = outcomes[3 * i + 1].result;
         out.cmp.mementoNoBypass = outcomes[3 * i + 2].result;
         // Report the failure the serial compare() would have thrown:
-        // the first failed run in triple order.
-        for (const RunResult *run :
-             {&out.cmp.base, &out.cmp.memento, &out.cmp.mementoNoBypass}) {
-            if (run->failed()) {
-                out.error = run->error;
+        // the first failed run in triple order, with the attempt count
+        // spent on that run (the --keep-going failure report shows it).
+        for (std::size_t j = 0; j < 3; ++j) {
+            const RunResult &run =
+                j == 0   ? out.cmp.base
+                : j == 1 ? out.cmp.memento
+                         : out.cmp.mementoNoBypass;
+            if (run.failed()) {
+                out.error = run.error;
+                out.attempts = outcomes[3 * i + j].attempts;
                 break;
             }
         }

@@ -19,11 +19,20 @@
  * its siblings. Without keep-going, tasks *after* the earliest failure
  * are cancelled cooperatively — exactly the tasks the serial sweep
  * would never have started.
+ *
+ * With SweepOptions::store set, the engine becomes crash-safe and
+ * resumable: every completed cell (success or captured failure) is
+ * persisted through the content-addressed result store before the
+ * merge, cache hits skip execution entirely (including trace
+ * synthesis), and a re-run after a crash — or on another machine with
+ * a merged store — reproduces the uninterrupted sweep's outcomes
+ * byte-for-byte at any --jobs level.
  */
 
 #ifndef MEMENTO_MACHINE_SWEEP_H
 #define MEMENTO_MACHINE_SWEEP_H
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <optional>
@@ -35,6 +44,8 @@
 #include "wl/workloads.h"
 
 namespace memento {
+
+class ResultStore;
 
 /**
  * Run @p fn(index) for every index in [0, n), fanned out over a
@@ -65,6 +76,13 @@ struct SweepTask
      * and shares it across every task of the same workload.
      */
     std::shared_ptr<const Trace> trace;
+    /**
+     * Extra salt folded into this task's result-store key, for sweeps
+     * that deliberately run the same (workload, config) cell more than
+     * once (e.g. the digest-determinism re-run) and need both cells
+     * cached separately.
+     */
+    std::string cacheSalt;
 };
 
 /** Sweep-wide execution policy. */
@@ -91,6 +109,38 @@ struct SweepOptions
      * internal mutex (safe to write to a stream from). May be null.
      */
     std::function<void(const SweepTask &, std::size_t index)> onTaskStart;
+    /**
+     * Crash-safe result cache (machine/result_store.h). When set, each
+     * task first tries to load its cell; on a miss the computed
+     * outcome — success *or* captured failure — is persisted before
+     * the merge. Null disables caching. Not owned.
+     */
+    ResultStore *store = nullptr;
+    /**
+     * Extra attempts for a failed task (per-cell fault isolation). A
+     * failure is retried up to this many times with a deterministic
+     * exponential backoff; the last attempt's outcome is reported,
+     * with the attempt count alongside. Cached failures are not
+     * retried — their recorded attempt count already reflects the
+     * retries spent computing them.
+     */
+    unsigned retries = 0;
+    /**
+     * Self-healing cache audit: recompute every cache hit whose key
+     * falls in the 1-in-N sample (0 = off, 1 = every hit) and compare
+     * against the stored result field-by-field. A mismatch quarantines
+     * the stored record, persists the recomputed result, and reports
+     * the cell failed with ErrorCategory::Corruption — loudly, because
+     * a divergent cached result means the cache was lying.
+     */
+    unsigned revalidateEvery = 0;
+    /**
+     * Cooperative stop (e.g. a SIGINT flag). Tasks that have not
+     * started when it becomes true are marked skipped; completed cells
+     * are already durable in the store, so a later run resumes. Not
+     * owned; may be null.
+     */
+    const std::atomic<bool> *stopFlag = nullptr;
 };
 
 /** Outcome of one sweep task, in task order. */
@@ -99,10 +149,15 @@ struct SweepOutcome
     RunResult result;
     /**
      * Task was cancelled before starting (a lower-indexed task failed
-     * and keep-going was off). The deterministic merge never reports
-     * skipped tasks: it stops at the failure that caused them.
+     * and keep-going was off, or the sweep was stopped). The
+     * deterministic merge never reports skipped tasks: it stops at the
+     * failure that caused them.
      */
     bool skipped = false;
+    /** Result was served from the result store, not recomputed. */
+    bool fromCache = false;
+    /** Attempts spent on this cell (1 = first try; retries add more). */
+    unsigned attempts = 1;
 };
 
 /**
@@ -148,6 +203,8 @@ struct ComparisonOutcome
      * every run that executed.
      */
     std::optional<RunError> error;
+    /** Attempts spent on the failed run (1 when error is empty). */
+    unsigned attempts = 1;
 };
 
 /**

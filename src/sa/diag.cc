@@ -69,6 +69,12 @@ allDiagRules()
         {"config-check-conflict", DiagSeverity::Warning,
          "check.interval can never fire before the check.max_ops "
          "watchdog"},
+        {"config-shard-range", DiagSeverity::Error,
+         "sweep.shard_index is not below sweep.shard_count, so the "
+         "shard computes nothing"},
+        {"config-retry-no-keep-going", DiagSeverity::Warning,
+         "sweep.retry is set without sweep.keep_going, so the first "
+         "cell that exhausts its retries still aborts the sweep"},
     };
     return rules;
 }

@@ -1,0 +1,102 @@
+#include "sim/atomic_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "sim/error.h"
+
+namespace memento {
+namespace {
+
+/** Directory part of @p path ("." when there is none). */
+std::string
+dirOf(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+/** fsync the directory entry so a rename survives a crash. */
+void
+syncDir(const std::string &dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return; // Best effort: some filesystems refuse directory fds.
+    ::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace
+
+void
+writeFileAtomic(const std::string &path, std::string_view contents)
+{
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << ::getpid();
+    const std::string tmp = tmp_name.str();
+
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    sim_error_if(fd < 0, ErrorCategory::Internal, "cannot create ", tmp,
+                 ": ", std::strerror(errno));
+
+    std::size_t off = 0;
+    while (off < contents.size()) {
+        const ssize_t n =
+            ::write(fd, contents.data() + off, contents.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const std::string why = std::strerror(errno);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            sim_error(ErrorCategory::Internal, "short write to ", tmp,
+                      ": ", why);
+        }
+        off += static_cast<std::size_t>(n);
+    }
+
+    if (::fsync(fd) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        sim_error(ErrorCategory::Internal, "fsync failed for ", tmp, ": ",
+                  why);
+    }
+    ::close(fd);
+
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const std::string why = std::strerror(errno);
+        ::unlink(tmp.c_str());
+        sim_error(ErrorCategory::Internal, "cannot rename ", tmp, " to ",
+                  path, ": ", why);
+    }
+    syncDir(dirOf(path));
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (in.bad())
+        return false;
+    out = ss.str();
+    return true;
+}
+
+} // namespace memento

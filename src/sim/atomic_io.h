@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Crash-safe file writes: temp file + fsync + rename.
+ *
+ * Every report or cache record the simulator persists goes through
+ * writeFileAtomic(), so an interrupted process can never leave a
+ * half-written file under the final name: readers observe either the
+ * previous complete content or the new complete content. The temp file
+ * lives in the destination directory (rename must not cross
+ * filesystems) under a pid-unique name, and the directory entry is
+ * fsynced after the rename so the new name itself survives a crash.
+ */
+
+#ifndef MEMENTO_SIM_ATOMIC_IO_H
+#define MEMENTO_SIM_ATOMIC_IO_H
+
+#include <string>
+#include <string_view>
+
+namespace memento {
+
+/**
+ * Atomically replace the file at @p path with @p contents.
+ * Throws SimError(Internal) when the filesystem refuses (unwritable
+ * directory, disk full) — the partial temp file is removed first.
+ */
+void writeFileAtomic(const std::string &path, std::string_view contents);
+
+/**
+ * Read the whole file at @p path into @p out. Returns false (without
+ * touching @p out's error state) when the file does not exist or
+ * cannot be read.
+ */
+bool readFile(const std::string &path, std::string &out);
+
+} // namespace memento
+
+#endif // MEMENTO_SIM_ATOMIC_IO_H

@@ -184,10 +184,20 @@ struct FaultPlan
     std::uint64_t traceCorruptAt = 0;
     /** Flip one arena-header bitmap bit after op index N (1-based). */
     std::uint64_t arenaBitFlipAt = 0;
+    /**
+     * Result-store crash injection (1-based, counted per process):
+     * tear the Nth cell write in half, or kill the process right after
+     * the Nth completed cell store. These exercise the store's
+     * torn-write quarantine and kill-resume paths; they are *not* part
+     * of any() — they never change a cell's simulated result and are
+     * excluded from canonical cache keys (see sim/config_canon.h).
+     */
+    std::uint64_t storeTornWriteAt = 0;
+    std::uint64_t storeKillAt = 0;
     /** Apply the plan only to this workload id ("" = every workload). */
     std::string workload;
 
-    /** True when any fault is armed. */
+    /** True when any simulation fault is armed (store faults excluded). */
     bool
     any() const
     {
@@ -201,6 +211,26 @@ struct FaultPlan
     {
         return any() && (workload.empty() || workload == id);
     }
+};
+
+/**
+ * Sweep execution policy: how a sweep runs, never what any cell
+ * computes. These keys are deliberately excluded from canonical cache
+ * keys (sim/config_canon.h) so that resumed, retried, or re-sharded
+ * sweeps hit the cells an earlier invocation cached. Settable both via
+ * config keys (sweep.*) and the corresponding CLI flags.
+ */
+struct SweepPolicyConfig
+{
+    /** Result-store directory ("" = caching disabled). */
+    std::string cacheDir;
+    /** This process computes workloads with index % shardCount == shardIndex. */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+    /** Extra attempts per failed cell (0 = fail on first error). */
+    unsigned retries = 0;
+    /** Record per-cell failures and keep sweeping (same as --keep-going). */
+    bool keepGoing = false;
 };
 
 /** Simulated virtual address-space layout (single process). */
@@ -239,6 +269,7 @@ struct MachineConfig
     AddressLayout layout;
     CheckConfig check;
     FaultPlan inject;
+    SweepPolicyConfig sweep;
 
     /** Convert a millisecond value to cycles at the core frequency. */
     Cycles

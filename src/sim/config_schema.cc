@@ -63,6 +63,12 @@ schemaTable()
         {"inject.pool_exhaust_at", ConfigType::U64, kNoMin, kNoMax,
          "fail the page pool after N granted pages (0 = off)",
          MEMENTO_SET(c.inject.poolExhaustAtPage = v.u64)},
+        {"inject.store_kill_at", ConfigType::U64, kNoMin, kNoMax,
+         "kill the process after the Nth completed cell store (0 = off)",
+         MEMENTO_SET(c.inject.storeKillAt = v.u64)},
+        {"inject.store_torn_write", ConfigType::U64, kNoMin, kNoMax,
+         "tear the Nth result-store cell write in half (0 = off)",
+         MEMENTO_SET(c.inject.storeTornWriteAt = v.u64)},
         {"inject.trace_corrupt_at", ConfigType::U64, kNoMin, kNoMax,
          "corrupt the trace record at op N (0 = off)",
          MEMENTO_SET(c.inject.traceCorruptAt = v.u64)},
@@ -143,6 +149,21 @@ schemaTable()
          "pages granted per page-pool refill",
          MEMENTO_SET(c.memento.pagePoolRefill =
                          static_cast<unsigned>(v.u64))},
+        {"sweep.cache_dir", ConfigType::String, kNoMin, kNoMax,
+         "result-store directory for crash-safe resumable sweeps",
+         MEMENTO_SET(c.sweep.cacheDir = v.str)},
+        {"sweep.keep_going", ConfigType::Bool, kNoMin, kNoMax,
+         "record per-cell failures and keep sweeping",
+         MEMENTO_SET(c.sweep.keepGoing = v.boolean)},
+        {"sweep.retry", ConfigType::U32, kNoMin, 16,
+         "extra attempts per failed sweep cell",
+         MEMENTO_SET(c.sweep.retries = static_cast<unsigned>(v.u64))},
+        {"sweep.shard_count", ConfigType::U32, 1, 4096,
+         "total shard count for a distributed sweep",
+         MEMENTO_SET(c.sweep.shardCount = static_cast<unsigned>(v.u64))},
+        {"sweep.shard_index", ConfigType::U32, kNoMin, 4095,
+         "this process's shard index (must be < sweep.shard_count)",
+         MEMENTO_SET(c.sweep.shardIndex = static_cast<unsigned>(v.u64))},
         {"tlb.l1_entries", ConfigType::U32, 1, 1 << 24,
          "L1 TLB entry count",
          MEMENTO_SET(c.l1Tlb.entries = static_cast<unsigned>(v.u64))},

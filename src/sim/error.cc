@@ -16,4 +16,19 @@ errorCategoryName(ErrorCategory cat)
     return "unknown";
 }
 
+bool
+errorCategoryFromName(std::string_view name, ErrorCategory &out)
+{
+    for (const auto cat :
+         {ErrorCategory::Config, ErrorCategory::Trace,
+          ErrorCategory::OutOfMemory, ErrorCategory::Corruption,
+          ErrorCategory::Timeout, ErrorCategory::Internal}) {
+        if (name == errorCategoryName(cat)) {
+            out = cat;
+            return true;
+        }
+    }
+    return false;
+}
+
 } // namespace memento

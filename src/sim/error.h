@@ -35,6 +35,12 @@ enum class ErrorCategory : std::uint8_t {
 /** Human-readable category name ("out-of-memory", "timeout", ...). */
 std::string_view errorCategoryName(ErrorCategory cat);
 
+/**
+ * Inverse of errorCategoryName(), for loading stored failure records.
+ * Returns false when @p name is not a known category.
+ */
+bool errorCategoryFromName(std::string_view name, ErrorCategory &out);
+
 /** A recoverable per-run simulation error. */
 class SimError : public std::runtime_error
 {

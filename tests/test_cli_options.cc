@@ -115,6 +115,74 @@ TEST(CliOptionsDeath, NonPositiveJobsIsFatal)
                 ::testing::ExitedWithCode(1), "positive count");
 }
 
+TEST(CliOptions, CacheFlagsApplyToTheSweepPolicy)
+{
+    const CliOptions opts = parseCommandOptions(
+        command("run"),
+        {"run", "all", "--cache", "/tmp/store", "--shard", "1/4",
+         "--retry", "3", "--revalidate"},
+        2);
+    EXPECT_EQ(opts.cfg.sweep.cacheDir, "/tmp/store");
+    EXPECT_EQ(opts.cfg.sweep.shardIndex, 1u);
+    EXPECT_EQ(opts.cfg.sweep.shardCount, 4u);
+    EXPECT_EQ(opts.cfg.sweep.retries, 3u);
+    EXPECT_TRUE(opts.revalidate);
+    EXPECT_FALSE(opts.noCache);
+}
+
+TEST(CliOptions, NoCacheBeatsCacheRegardlessOfOrder)
+{
+    const CliOptions opts = parseCommandOptions(
+        command("run"),
+        {"run", "all", "--no-cache", "--cache", "/tmp/store"}, 2);
+    EXPECT_TRUE(opts.noCache);
+    EXPECT_TRUE(opts.cfg.sweep.cacheDir.empty());
+}
+
+TEST(CliOptions, MergeCommandIsRegistered)
+{
+    const CommandSpec &merge = command("merge");
+    EXPECT_EQ(merge.positionals, 2u);
+    EXPECT_TRUE(merge.flags.empty());
+}
+
+TEST(CliOptionsDeath, ShardFormatErrorsAreFatal)
+{
+    for (const char *bad : {"2", "a/b", "/2", "1/", "3/2", "2/2",
+                            "-1/2", "0/0", "0/5000"}) {
+        EXPECT_EXIT(parseCommandOptions(
+                        command("run"), {"run", "all", "--shard", bad}, 2),
+                    ::testing::ExitedWithCode(1), "--shard")
+            << bad;
+    }
+}
+
+TEST(CliOptionsDeath, RetryOutOfRangeIsFatal)
+{
+    EXPECT_EXIT(parseCommandOptions(command("run"),
+                                    {"run", "all", "--retry", "17"}, 2),
+                ::testing::ExitedWithCode(1), "--retry");
+    EXPECT_EXIT(parseCommandOptions(command("run"),
+                                    {"run", "all", "--retry", "x"}, 2),
+                ::testing::ExitedWithCode(1), "--retry");
+}
+
+TEST(CliOptionsDeath, EmptyCacheDirIsFatal)
+{
+    EXPECT_EXIT(parseCommandOptions(command("run"),
+                                    {"run", "all", "--cache", ""}, 2),
+                ::testing::ExitedWithCode(1), "--cache");
+}
+
+TEST(CliOptionsDeath, BenchRejectsRetry)
+{
+    // bench has no per-cell retry semantics; the declarative command
+    // table must reject the flag rather than silently ignoring it.
+    EXPECT_EXIT(parseCommandOptions(command("bench"),
+                                    {"bench", "--retry", "2"}, 1),
+                ::testing::ExitedWithCode(1), "does not accept --retry");
+}
+
 TEST(CliOptions, HelpRendererListsOnlyAcceptedFlags)
 {
     std::ostringstream os;

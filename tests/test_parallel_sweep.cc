@@ -55,10 +55,10 @@ tasksFor(const WorkloadSpec &spec)
     faulted.inject.traceCorruptAt = 120;
     faulted.inject.workload = spec.id;
 
-    return {{spec, base, ro, nullptr},
-            {spec, memento, ro, nullptr},
-            {spec, no_bypass, ro, nullptr},
-            {spec, faulted, ro, nullptr}};
+    return {{spec, base, ro, nullptr, {}},
+            {spec, memento, ro, nullptr, {}},
+            {spec, no_bypass, ro, nullptr, {}},
+            {spec, faulted, ro, nullptr, {}}};
 }
 
 std::vector<SweepOutcome>
@@ -155,14 +155,14 @@ TEST(ParallelSweepEngine, FullSweepFailureReportMatchesSerial)
     std::vector<SweepTask> tasks;
     for (const WorkloadSpec &full : allWorkloads()) {
         const WorkloadSpec spec = downscale(full);
-        tasks.push_back({spec, base, ro, nullptr});
+        tasks.push_back({spec, base, ro, nullptr, {}});
         MachineConfig cfg = memento;
         // Fault two of the workloads so the report is non-trivial.
         if (spec.id == "aes" || spec.id == "bfs") {
             cfg.inject.traceCorruptAt = 200;
             cfg.inject.workload = spec.id;
         }
-        tasks.push_back({spec, cfg, ro, nullptr});
+        tasks.push_back({spec, cfg, ro, nullptr, {}});
     }
 
     const auto serial = sweepAt(1, tasks, /*keep_going=*/true);
@@ -210,7 +210,7 @@ TEST(ParallelSweepEngine, CancellationPreservesSerialPrefix)
             cfg.inject.workload = spec.id;
             fail_at = idx;
         }
-        tasks.push_back({spec, cfg, ro, nullptr});
+        tasks.push_back({spec, cfg, ro, nullptr, {}});
         ++idx;
     }
 
@@ -247,9 +247,9 @@ TEST(ParallelSweepEngine, TraceGeneratedOncePerWorkload)
     std::vector<std::string> ids = {"aes", "jl", "silo"};
     for (const std::string &id : ids) {
         const WorkloadSpec spec = downscale(workloadById(id));
-        tasks.push_back({spec, base, ro, nullptr});
-        tasks.push_back({spec, memento, ro, nullptr});
-        tasks.push_back({spec, memento, ro, nullptr});
+        tasks.push_back({spec, base, ro, nullptr, {}});
+        tasks.push_back({spec, memento, ro, nullptr, {}});
+        tasks.push_back({spec, memento, ro, nullptr, {}});
     }
 
     SweepOptions so;
@@ -311,10 +311,10 @@ TEST(SweepWatchdog, HungRunTimesOutWhileSiblingsFinish)
 
     RunOptions ro;
     const MachineConfig cfg = test::smallMementoConfig();
-    std::vector<SweepTask> tasks = {{hung, cfg, ro, nullptr},
-                                    {tiny, cfg, ro, nullptr},
+    std::vector<SweepTask> tasks = {{hung, cfg, ro, nullptr, {}},
+                                    {tiny, cfg, ro, nullptr, {}},
                                     {tiny, test::smallConfig(), ro,
-                                     nullptr}};
+                                     nullptr, {}}};
 
     SweepOptions so;
     so.jobs = 3;
@@ -341,7 +341,7 @@ TEST(SweepWatchdog, TaskOwnBudgetBeatsPoolDefault)
     so.keepGoing = true;
     so.watchdogMaxOps = 1'000'000;
     SweepEngine engine(so);
-    const auto outcomes = engine.run({{spec, cfg, RunOptions{}, nullptr}});
+    const auto outcomes = engine.run({{spec, cfg, RunOptions{}, nullptr, {}}});
 
     ASSERT_TRUE(outcomes[0].result.failed());
     EXPECT_EQ(outcomes[0].result.error->category, ErrorCategory::Timeout);
@@ -357,7 +357,7 @@ TEST(SweepWatchdog, CycleBudgetFires)
     so.watchdogMaxCycles = 1000; // Trips within the RPC bookend.
     SweepEngine engine(so);
     const auto outcomes = engine.run(
-        {{spec, test::smallConfig(), RunOptions{}, nullptr}});
+        {{spec, test::smallConfig(), RunOptions{}, nullptr, {}}});
 
     ASSERT_TRUE(outcomes[0].result.failed());
     EXPECT_EQ(outcomes[0].result.error->category, ErrorCategory::Timeout);

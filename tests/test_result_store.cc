@@ -1,0 +1,498 @@
+/**
+ * @file
+ * Unit tests for the content-addressed result store
+ * (machine/result_store.h): exact round-trips, key sensitivity (and
+ * the deliberate *in*sensitivity to sweep execution policy),
+ * corruption quarantine, merge semantics, and the canonical-config
+ * tripwire that keeps cache keys honest as MachineConfig grows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "machine/result_store.h"
+#include "sim/atomic_io.h"
+#include "sim/config.h"
+#include "sim/config_canon.h"
+#include "sim/error.h"
+#include "test_util.h"
+
+namespace memento {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A unique store directory per test, removed on destruction. */
+class TempStoreDir
+{
+  public:
+    explicit TempStoreDir(const std::string &tag)
+    {
+        static int counter = 0;
+        path_ = (fs::temp_directory_path() /
+                 ("memento-store-test-" + std::to_string(::getpid()) +
+                  "-" + tag + "-" + std::to_string(counter++)))
+                    .string();
+        fs::remove_all(path_);
+    }
+
+    ~TempStoreDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path_, ec);
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+ResultStore
+openStore(const TempStoreDir &dir)
+{
+    // Pin the code version so keys are stable within the test no
+    // matter what state the enclosing git checkout is in.
+    return ResultStore({.dir = dir.path(), .codeVersion = "test-sha"});
+}
+
+/** A RunResult with every field distinct and non-trivial. */
+RunResult
+richResult()
+{
+    RunResult r;
+    r.workload = "aes";
+    r.cycles = 0x1234'5678'9abc'def0ull;
+    for (std::size_t i = 0; i < r.byCategory.size(); ++i)
+        r.byCategory[i] = 1000 + i;
+    r.instructions = 11;
+    r.dramBytes = 12;
+    r.dramReads = 13;
+    r.dramWrites = 14;
+    r.bypassedLines = 15;
+    r.aggUserPages = 16;
+    r.aggKernelPages = 17;
+    r.peakResidentPages = 18;
+    r.pageFaults = 19;
+    r.mmapCalls = 20;
+    r.poolRefills = 21;
+    r.hotAllocHits = 22;
+    r.hotAllocMisses = 23;
+    r.hotFreeHits = 24;
+    r.hotFreeMisses = 25;
+    r.allocListOps = 26;
+    r.freeListOps = 27;
+    r.objAllocs = 28;
+    r.objFrees = 29;
+    // A fraction that does not round-trip through short decimal: the
+    // store must preserve the exact bit pattern.
+    r.fragInactiveFraction = 0.1 + 0.2;
+    r.digest = 0xfeed'beef'cafe'f00dull;
+    return r;
+}
+
+TEST(ResultStore, RunCellRoundTripsExactly)
+{
+    TempStoreDir dir("roundtrip");
+    ResultStore store = openStore(dir);
+
+    const RunResult want = richResult();
+    const CellKey key = store.runCellKey("aes", test::smallConfig(),
+                                         RunOptions{});
+    store.storeRun(key, want, 3);
+
+    RunResult got;
+    unsigned attempts = 0;
+    ASSERT_TRUE(store.loadRun(key, got, attempts));
+    EXPECT_TRUE(got == want);
+    EXPECT_EQ(attempts, 3u);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got.fragInactiveFraction),
+              std::bit_cast<std::uint64_t>(want.fragInactiveFraction));
+
+    const StoreStats stats = store.stats();
+    EXPECT_EQ(stats.stores, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.quarantined, 0u);
+}
+
+TEST(ResultStore, CachedFailureIsFirstClass)
+{
+    TempStoreDir dir("failure");
+    ResultStore store = openStore(dir);
+
+    RunResult want = richResult();
+    want.error = RunError{ErrorCategory::Trace,
+                          "corrupt record at op 120", 120};
+    const CellKey key = store.runCellKey("bfs", test::smallConfig(),
+                                         RunOptions{});
+    store.storeRun(key, want, 4);
+
+    RunResult got;
+    unsigned attempts = 0;
+    ASSERT_TRUE(store.loadRun(key, got, attempts));
+    ASSERT_TRUE(got.failed());
+    EXPECT_EQ(got.error->category, ErrorCategory::Trace);
+    EXPECT_EQ(got.error->message, "corrupt record at op 120");
+    EXPECT_EQ(got.error->opIndex, 120u);
+    EXPECT_EQ(attempts, 4u);
+    EXPECT_TRUE(got == want);
+}
+
+TEST(ResultStore, MissingCellIsAMiss)
+{
+    TempStoreDir dir("miss");
+    ResultStore store = openStore(dir);
+
+    RunResult got;
+    unsigned attempts = 0;
+    EXPECT_FALSE(store.loadRun(CellKey{42}, got, attempts));
+    EXPECT_EQ(store.stats().misses, 1u);
+}
+
+TEST(ResultStore, KeysSeparateEverythingThatChangesResults)
+{
+    TempStoreDir dir("keys");
+    ResultStore store = openStore(dir);
+
+    const MachineConfig cfg = test::smallConfig();
+    const RunOptions ro;
+    const CellKey base = store.runCellKey("aes", cfg, ro);
+
+    // Workload.
+    EXPECT_FALSE(base == store.runCellKey("bfs", cfg, ro));
+
+    // Any result-affecting config field.
+    MachineConfig bigger_l1 = cfg;
+    bigger_l1.l1d.sizeBytes *= 2;
+    EXPECT_FALSE(base == store.runCellKey("aes", bigger_l1, ro));
+    MachineConfig memento_on = cfg;
+    memento_on.memento.enabled = true;
+    EXPECT_FALSE(base == store.runCellKey("aes", memento_on, ro));
+    MachineConfig faulted = cfg;
+    faulted.inject.traceCorruptAt = 7;
+    EXPECT_FALSE(base == store.runCellKey("aes", faulted, ro));
+
+    // Run options.
+    RunOptions cold = ro;
+    cold.coldStart = true;
+    EXPECT_FALSE(base == store.runCellKey("aes", cfg, cold));
+    RunOptions digest = ro;
+    digest.computeDigest = true;
+    EXPECT_FALSE(base == store.runCellKey("aes", cfg, digest));
+
+    // Salt (the --digest second run).
+    EXPECT_FALSE(base == store.runCellKey("aes", cfg, ro, "digest-rerun"));
+
+    // Code version.
+    ResultStore other({.dir = dir.path(), .codeVersion = "other-sha"});
+    EXPECT_FALSE(base == other.runCellKey("aes", cfg, ro));
+}
+
+TEST(ResultStore, SweepPolicyAndStoreFaultsDoNotChangeKeys)
+{
+    TempStoreDir dir("policy");
+    ResultStore store = openStore(dir);
+
+    const MachineConfig cfg = test::smallConfig();
+    const CellKey base = store.runCellKey("aes", cfg, RunOptions{});
+
+    // The whole point of the store: a resumed, re-sharded, retried, or
+    // crash-injected sweep must hit the cells its predecessor wrote.
+    MachineConfig policy = cfg;
+    policy.sweep.cacheDir = "/somewhere/else";
+    policy.sweep.shardIndex = 1;
+    policy.sweep.shardCount = 4;
+    policy.sweep.retries = 9;
+    policy.sweep.keepGoing = true;
+    policy.inject.storeTornWriteAt = 3;
+    policy.inject.storeKillAt = 5;
+    EXPECT_EQ(canonicalConfigText(cfg), canonicalConfigText(policy));
+    EXPECT_TRUE(base == store.runCellKey("aes", policy, RunOptions{}));
+}
+
+TEST(ResultStore, DerivedKeysSeparateParts)
+{
+    TempStoreDir dir("derived");
+    ResultStore store = openStore(dir);
+
+    const CellKey a = store.derivedKey({"bench-workload", "aes", "3"});
+    EXPECT_FALSE(a == store.derivedKey({"bench-workload", "aes", "4"}));
+    EXPECT_FALSE(a == store.derivedKey({"bench-workload", "bfs", "3"}));
+    // Length-prefixed parts: ("ab","c") must not alias ("a","bc").
+    EXPECT_FALSE(store.derivedKey({"ab", "c"}) ==
+                 store.derivedKey({"a", "bc"}));
+}
+
+// ---- Corruption handling --------------------------------------------
+
+/** Store one cell and return its on-disk path. */
+std::string
+storeOneCell(ResultStore &store, CellKey &key)
+{
+    key = store.runCellKey("aes", test::smallConfig(), RunOptions{});
+    store.storeRun(key, richResult(), 1);
+    return store.dir() + "/" + key.hex() + ".cell";
+}
+
+void
+expectQuarantinedMiss(ResultStore &store, const CellKey &key)
+{
+    RunResult got;
+    unsigned attempts = 0;
+    EXPECT_FALSE(store.loadRun(key, got, attempts));
+    EXPECT_EQ(store.stats().quarantined, 1u);
+    // The damaged record moved aside; the slot is free for recompute.
+    EXPECT_FALSE(fs::exists(store.dir() + "/" + key.hex() + ".cell"));
+    EXPECT_TRUE(fs::exists(store.dir() + "/" + key.hex() + ".quarantined"));
+
+    // Recompute + store + load works again.
+    store.storeRun(key, richResult(), 2);
+    EXPECT_TRUE(store.loadRun(key, got, attempts));
+    EXPECT_EQ(attempts, 2u);
+}
+
+TEST(ResultStore, BitFlipIsQuarantinedNotFatal)
+{
+    TempStoreDir dir("bitflip");
+    ResultStore store = openStore(dir);
+    CellKey key;
+    const std::string path = storeOneCell(store, key);
+
+    std::string record;
+    ASSERT_TRUE(readFile(path, record));
+    record[record.size() / 2] ^= 0x40; // Flip one payload bit.
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << record;
+
+    expectQuarantinedMiss(store, key);
+}
+
+TEST(ResultStore, TruncatedRecordIsQuarantined)
+{
+    TempStoreDir dir("trunc");
+    ResultStore store = openStore(dir);
+    CellKey key;
+    const std::string path = storeOneCell(store, key);
+
+    std::string record;
+    ASSERT_TRUE(readFile(path, record));
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        << record.substr(0, record.size() / 2);
+
+    expectQuarantinedMiss(store, key);
+}
+
+TEST(ResultStore, GarbageHeaderIsQuarantined)
+{
+    TempStoreDir dir("garbage");
+    ResultStore store = openStore(dir);
+    CellKey key;
+    const std::string path = storeOneCell(store, key);
+
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        << "this is not a result cell\nat all";
+
+    expectQuarantinedMiss(store, key);
+}
+
+TEST(ResultStore, WrongCellKindIsDamage)
+{
+    TempStoreDir dir("kind");
+    ResultStore store = openStore(dir);
+
+    const CellKey key = store.derivedKey({"some", "cell"});
+    store.storeCell(key, "bench", "{\"id\": \"aes\"}");
+
+    // Asking for the same key under a different kind must not return
+    // the bench payload as a run payload.
+    std::string payload;
+    EXPECT_FALSE(store.loadCell(key, "run", payload));
+    EXPECT_EQ(store.stats().quarantined, 1u);
+}
+
+TEST(ResultStore, UnparseableRunPayloadIsQuarantined)
+{
+    TempStoreDir dir("payload");
+    ResultStore store = openStore(dir);
+
+    // A structurally valid cell (header + checksum OK) whose payload
+    // is not a RunResult: loadCell succeeds, loadRun must quarantine.
+    const CellKey key = store.runCellKey("aes", test::smallConfig(),
+                                         RunOptions{});
+    store.storeCell(key, "run", "{\"workload\": \"aes\"}");
+
+    RunResult got;
+    unsigned attempts = 0;
+    EXPECT_FALSE(store.loadRun(key, got, attempts));
+    const StoreStats stats = store.stats();
+    EXPECT_EQ(stats.quarantined, 1u);
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ResultStore, NoTemporaryFilesLeftBehind)
+{
+    TempStoreDir dir("tmpfiles");
+    ResultStore store = openStore(dir);
+
+    for (int i = 0; i < 8; ++i) {
+        RunResult r = richResult();
+        r.cycles = i;
+        store.storeRun(store.derivedKey({"cell", std::to_string(i)}), r,
+                       1);
+    }
+
+    std::size_t cells = 0;
+    for (const fs::directory_entry &e : fs::directory_iterator(dir.path())) {
+        EXPECT_EQ(e.path().extension(), ".cell")
+            << "unexpected file in store: " << e.path();
+        ++cells;
+    }
+    EXPECT_EQ(cells, 8u);
+    EXPECT_EQ(store.listCellFiles().size(), 8u);
+}
+
+// ---- Merge -----------------------------------------------------------
+
+TEST(ResultStore, MergeIsAValidatedUnion)
+{
+    TempStoreDir dst_dir("merge-dst");
+    TempStoreDir src_dir("merge-src");
+    ResultStore dst = openStore(dst_dir);
+    ResultStore src = openStore(src_dir);
+
+    // dst holds cells {A}; src holds {A, B, C} with C corrupted.
+    const CellKey a = dst.derivedKey({"cell", "a"});
+    const CellKey b = dst.derivedKey({"cell", "b"});
+    const CellKey c = dst.derivedKey({"cell", "c"});
+    RunResult r = richResult();
+    dst.storeRun(a, r, 1);
+    src.storeRun(a, r, 1);
+    r.cycles = 2;
+    src.storeRun(b, r, 1);
+    r.cycles = 3;
+    src.storeRun(c, r, 1);
+    std::ofstream(src_dir.path() + "/" + c.hex() + ".cell",
+                  std::ios::binary | std::ios::trunc)
+        << "torn";
+
+    const MergeStats stats = dst.mergeFrom(src_dir.path());
+    EXPECT_EQ(stats.merged, 1u);     // B.
+    EXPECT_EQ(stats.duplicates, 1u); // A.
+    EXPECT_EQ(stats.corrupt, 1u);    // C.
+
+    RunResult got;
+    unsigned attempts = 0;
+    EXPECT_TRUE(dst.loadRun(a, got, attempts));
+    EXPECT_TRUE(dst.loadRun(b, got, attempts));
+    EXPECT_EQ(got.cycles, 2u);
+    EXPECT_FALSE(dst.loadRun(c, got, attempts));
+}
+
+TEST(ResultStore, MergeRepairsACorruptDestinationRecord)
+{
+    TempStoreDir dst_dir("repair-dst");
+    TempStoreDir src_dir("repair-src");
+    ResultStore dst = openStore(dst_dir);
+    ResultStore src = openStore(src_dir);
+
+    const CellKey key = dst.derivedKey({"cell", "x"});
+    src.storeRun(key, richResult(), 1);
+    std::ofstream(dst_dir.path() + "/" + key.hex() + ".cell",
+                  std::ios::binary | std::ios::trunc)
+        << "damaged";
+
+    const MergeStats stats = dst.mergeFrom(src_dir.path());
+    EXPECT_EQ(stats.merged, 1u);
+    EXPECT_EQ(stats.duplicates, 0u);
+
+    RunResult got;
+    unsigned attempts = 0;
+    EXPECT_TRUE(dst.loadRun(key, got, attempts));
+}
+
+TEST(ResultStore, MergeOfMissingDirectoryThrowsConfigError)
+{
+    TempStoreDir dir("merge-bad");
+    ResultStore store = openStore(dir);
+    try {
+        store.mergeFrom(dir.path() + "/definitely-not-here");
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Config);
+    }
+}
+
+// ---- Revalidation ----------------------------------------------------
+
+TEST(ResultStore, RevalidateSampleIsDeterministicInTheKey)
+{
+    TempStoreDir dir("sample");
+    ResultStore store = openStore(dir);
+
+    EXPECT_FALSE(store.inRevalidateSample(CellKey{12}, 0));
+    EXPECT_TRUE(store.inRevalidateSample(CellKey{12}, 1));
+    EXPECT_TRUE(store.inRevalidateSample(CellKey{12}, 4));
+    EXPECT_FALSE(store.inRevalidateSample(CellKey{13}, 4));
+    // Stable across store instances (it is pure in the key).
+    ResultStore other({.dir = dir.path(), .codeVersion = "test-sha"});
+    EXPECT_EQ(store.inRevalidateSample(CellKey{12}, 4),
+              other.inRevalidateSample(CellKey{12}, 4));
+}
+
+// ---- The canonical-config tripwire ----------------------------------
+
+/**
+ * If this assertion fires, a field was added to (or removed from)
+ * MachineConfig. Decide whether it changes run results:
+ *
+ *  - result-affecting  -> serialize it in canonicalConfigText()
+ *  - execution policy  -> leave it out, like sweep.* / inject.store_*
+ *
+ * and then update the expected size here. Skipping this check silently
+ * aliases cache cells across configs that compute different results.
+ */
+TEST(CanonCoversConfig, SizeofTripwire)
+{
+    EXPECT_EQ(sizeof(MachineConfig), 576u)
+        << "MachineConfig changed: audit canonicalConfigText() before "
+           "bumping this constant (see the comment above this test)";
+}
+
+TEST(CanonCoversConfig, EveryResultAffectingSectionIsSerialized)
+{
+    // Spot-check one field per config section: flipping it must change
+    // the canonical text (complete-over-results, per config_canon.h).
+    const MachineConfig base = test::smallConfig();
+    const std::string canon = canonicalConfigText(base);
+
+    auto changed = [&](auto mutate) {
+        MachineConfig cfg = base;
+        mutate(cfg);
+        return canonicalConfigText(cfg) != canon;
+    };
+
+    EXPECT_TRUE(changed([](MachineConfig &c) { c.core.issueWidth++; }));
+    EXPECT_TRUE(changed([](MachineConfig &c) { c.l1d.sizeBytes *= 2; }));
+    EXPECT_TRUE(changed([](MachineConfig &c) { c.l1Tlb.entries *= 2; }));
+    EXPECT_TRUE(changed([](MachineConfig &c) { c.dram.banks++; }));
+    EXPECT_TRUE(
+        changed([](MachineConfig &c) { c.kernel.mmapInstructions++; }));
+    EXPECT_TRUE(changed([](MachineConfig &c) { c.memento.enabled = true; }));
+    EXPECT_TRUE(
+        changed([](MachineConfig &c) { c.tuning.pymallocArenaBytes *= 2; }));
+    EXPECT_TRUE(changed([](MachineConfig &c) { c.layout.heapBase += 4096; }));
+    EXPECT_TRUE(changed([](MachineConfig &c) { c.check.maxOps = 99; }));
+    EXPECT_TRUE(
+        changed([](MachineConfig &c) { c.inject.traceCorruptAt = 99; }));
+}
+
+} // namespace
+} // namespace memento

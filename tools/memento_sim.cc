@@ -35,8 +35,21 @@
  *       JSON document to --out (default BENCH_PR6.json); --json also
  *       prints it to stdout instead of the text summary.
  *
+ *   memento_sim merge <out-dir> <in-dir>...
+ *       Merge partial result stores (e.g. from --shard runs on other
+ *       machines) into one, validating every record; corrupt source
+ *       records are counted and skipped, never copied.
+ *
  *   memento_sim help [command]
  *       Render the global usage page or one command's options.
+ *
+ * Crash-safe sweeps: `run all`, `compare all`, and `bench` accept
+ * --cache DIR, which persists every completed cell to a
+ * content-addressed result store (machine/result_store.h). A killed or
+ * interrupted sweep resumes from the cache with byte-identical stdout;
+ * --shard I/N partitions a sweep across machines for later `merge`;
+ * --retry N isolates flaky cells; --revalidate audits cached results
+ * by recomputing a sample. All cache chatter goes to stderr.
  *
  * Every command parses through the shared declarative flag table in
  * src/cli/options.h: one parser, one --help renderer, one error style.
@@ -57,9 +70,12 @@
  * workload order, so parallelism never changes what gets printed.
  */
 
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <memory>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -70,10 +86,12 @@
 #include "machine/breakdown.h"
 #include "machine/experiment.h"
 #include "machine/machine.h"
+#include "machine/result_store.h"
 #include "machine/sweep.h"
 #include "sa/config_lint.h"
 #include "sa/diag.h"
 #include "sa/trace_check.h"
+#include "sim/atomic_io.h"
 #include "sim/error.h"
 #include "sim/logging.h"
 #include "val/digest.h"
@@ -88,22 +106,127 @@ struct FailureRecord
 {
     std::string workload;
     RunError error;
+    /** Attempts spent before giving the cell up (--retry). */
+    unsigned attempts = 1;
 };
 
 void
 printFailureReport(const std::vector<FailureRecord> &failures)
 {
     std::cout << "\n" << failures.size() << " run(s) failed:\n";
-    TextTable t({"workload", "category", "op", "error"});
+    TextTable t({"workload", "category", "op", "attempts", "error"});
     for (const FailureRecord &f : failures) {
         t.newRow();
         t.cell(f.workload);
         t.cell(std::string(errorCategoryName(f.error.category)));
         t.cell(f.error.hasOpIndex() ? std::to_string(f.error.opIndex)
                                     : std::string("-"));
+        t.cell(std::to_string(f.attempts));
         t.cell(f.error.message);
     }
     t.print(std::cout);
+}
+
+// ---- Crash-safe sweep plumbing ---------------------------------------
+
+/** SIGINT/SIGTERM latch; the sweep engine polls it between cells. */
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+onStopSignal(int)
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
+
+/**
+ * Open the result store named by --cache / sweep.cache_dir (null when
+ * caching is off) and arm the stop-signal latch: with a store, an
+ * interrupted sweep's completed cells are durable, so Ctrl-C becomes
+ * "flush and resume later" instead of "lose everything".
+ */
+std::unique_ptr<ResultStore>
+makeStore(const CliOptions &opts)
+{
+    if (opts.cfg.sweep.cacheDir.empty())
+        return nullptr;
+    ResultStoreOptions so;
+    so.dir = opts.cfg.sweep.cacheDir;
+    so.tornWriteAt = opts.cfg.inject.storeTornWriteAt;
+    so.killAt = opts.cfg.inject.storeKillAt;
+    auto store = std::make_unique<ResultStore>(std::move(so));
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+    return store;
+}
+
+/** Cache/interruption chatter goes to stderr only: stdout must stay
+ * byte-identical to an uncached, uninterrupted serial sweep. */
+void
+reportStoreStats(const ResultStore &store)
+{
+    const StoreStats s = store.stats();
+    std::cerr << "cache " << store.dir() << ": " << s.hits << " hit(s), "
+              << s.misses << " miss(es), " << s.stores << " store(s)";
+    if (s.quarantined != 0)
+        std::cerr << ", " << s.quarantined << " quarantined";
+    if (s.revalidated != 0)
+        std::cerr << ", " << s.revalidated << " revalidated";
+    std::cerr << "\n";
+}
+
+/** Interrupted sweep: say how to resume, exit 130, print no report. */
+int
+reportInterrupted(const ResultStore *store)
+{
+    std::cerr << "interrupted: completed cells are durable";
+    if (store != nullptr)
+        std::cerr << " in " << store->dir()
+                  << "; re-run with --cache " << store->dir()
+                  << " to resume";
+    std::cerr << "\n";
+    return 130;
+}
+
+/**
+ * Keep only this shard's workloads (index % count == shard index).
+ * Partitioning is by position in the full deterministic workload
+ * list, so shards are disjoint and merge-complete by construction.
+ */
+void
+applyShard(std::vector<WorkloadSpec> &specs, const SweepPolicyConfig &sw,
+           bool is_all)
+{
+    // The --shard flag validates I < N at parse time; the config-file
+    // path (sweep.shard_index) must be checked here.
+    fatal_if(sw.shardIndex >= sw.shardCount, "sweep.shard_index (",
+             sw.shardIndex, ") must be below sweep.shard_count (",
+             sw.shardCount, ")");
+    if (sw.shardCount <= 1)
+        return;
+    fatal_if(!is_all, "--shard partitions a sweep; use it with 'all'");
+    std::vector<WorkloadSpec> mine;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (i % sw.shardCount == sw.shardIndex)
+            mine.push_back(specs[i]);
+    }
+    specs = std::move(mine);
+}
+
+/** Shared SweepOptions wiring for the cache/retry/revalidate layer. */
+void
+applySweepPolicy(SweepOptions &sweep_opts, const CliOptions &opts,
+                 ResultStore *store)
+{
+    sweep_opts.keepGoing = opts.keepGoing || opts.cfg.sweep.keepGoing;
+    sweep_opts.retries = opts.cfg.sweep.retries;
+    sweep_opts.store = store;
+    if (store != nullptr) {
+        sweep_opts.stopFlag = &g_stop;
+        // --revalidate recomputes a deterministic 1-in-4 sample of
+        // cache hits; plenty to catch a lying cache without paying for
+        // a full recompute.
+        sweep_opts.revalidateEvery = opts.revalidate ? 4 : 0;
+    }
 }
 
 Trace
@@ -204,34 +327,54 @@ cmdRun(const std::string &id, const CliOptions &opts)
     const std::size_t runs_per = opts.digest ? 2 : 1;
     std::shared_ptr<const Trace> replay;
     if (!opts.traceFile.empty()) {
+        fatal_if(!opts.cfg.sweep.cacheDir.empty(),
+                 "--cache keys cells by workload identity and cannot "
+                 "cache --trace replays; drop one of the two");
         std::ifstream in(opts.traceFile);
         fatal_if(!in, "cannot open trace file ", opts.traceFile);
         replay = std::make_shared<const Trace>(readTrace(in));
     }
+    applyShard(specs, opts.cfg.sweep, id == "all");
+    const std::unique_ptr<ResultStore> store = makeStore(opts);
+
     std::vector<SweepTask> tasks;
     tasks.reserve(specs.size() * runs_per);
-    for (const WorkloadSpec &spec : specs)
-        for (std::size_t r = 0; r < runs_per; ++r)
-            tasks.push_back({spec, opts.cfg, run_opts, replay});
+    for (const WorkloadSpec &spec : specs) {
+        for (std::size_t r = 0; r < runs_per; ++r) {
+            // The paired digest run is a *deliberate* duplicate of the
+            // first cell; salt its cache key so both runs stay cached
+            // and the determinism check never degenerates into
+            // comparing one cached cell with itself.
+            tasks.push_back({spec, opts.cfg, run_opts, replay,
+                             r == 0 ? std::string() : "digest-rerun"});
+        }
+    }
 
     SweepOptions sweep_opts;
     sweep_opts.jobs = opts.jobs;
-    sweep_opts.keepGoing = opts.keepGoing;
+    applySweepPolicy(sweep_opts, opts, store.get());
+    const bool keep_going = sweep_opts.keepGoing;
     SweepEngine engine(sweep_opts);
     const std::vector<SweepOutcome> outcomes = engine.run(tasks);
+
+    if (store != nullptr)
+        reportStoreStats(*store);
+    if (g_stop.load(std::memory_order_relaxed))
+        return reportInterrupted(store.get());
 
     std::vector<FailureRecord> failures;
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const WorkloadSpec &spec = specs[i];
-        const RunResult &res = outcomes[i * runs_per].result;
+        const SweepOutcome &outcome = outcomes[i * runs_per];
+        const RunResult &res = outcome.result;
         std::cout << "workload " << spec.id << " ("
                   << (opts.cfg.memento.enabled ? "memento" : "baseline")
                   << ")";
         if (res.failed()) {
             std::cout << ": FAILED ("
                       << errorCategoryName(res.error->category) << ")\n";
-            failures.push_back({spec.id, *res.error});
-            if (!opts.keepGoing)
+            failures.push_back({spec.id, *res.error, outcome.attempts});
+            if (!keep_going)
                 break;
             continue;
         }
@@ -241,7 +384,8 @@ cmdRun(const std::string &id, const CliOptions &opts)
         if (opts.digest) {
             // Paired run: an identical workload under an identical
             // configuration must reproduce the machine state exactly.
-            const RunResult &again = outcomes[i * runs_per + 1].result;
+            const SweepOutcome &again_out = outcomes[i * runs_per + 1];
+            const RunResult &again = again_out.result;
             if (again.failed() || again.digest != res.digest) {
                 RunError err;
                 err.category = ErrorCategory::Internal;
@@ -253,8 +397,8 @@ cmdRun(const std::string &id, const CliOptions &opts)
                               digestToHex(res.digest) + " vs " +
                               digestToHex(again.digest) +
                               " (nondeterministic state)";
-                failures.push_back({spec.id, err});
-                if (!opts.keepGoing)
+                failures.push_back({spec.id, err, again_out.attempts});
+                if (!keep_going)
                     break;
             } else {
                 std::cout << "state digest " << digestToHex(res.digest)
@@ -287,12 +431,16 @@ cmdCompare(const std::string &id, const CliOptions &opts)
     RunOptions run_opts;
     run_opts.coldStart = opts.cold;
 
+    applyShard(specs, opts.cfg.sweep, id == "all");
+    const std::unique_ptr<ResultStore> store = makeStore(opts);
+
     // Each workload's (baseline, memento, no-bypass) triple fans out
     // as three tasks sharing one cached trace; the progress line fires
     // as a workload's first task starts (serialized by the engine).
     SweepOptions sweep_opts;
     sweep_opts.jobs = opts.jobs;
-    sweep_opts.keepGoing = opts.keepGoing;
+    applySweepPolicy(sweep_opts, opts, store.get());
+    const bool keep_going = sweep_opts.keepGoing;
     sweep_opts.onTaskStart = [](const SweepTask &task, std::size_t idx) {
         if (idx % 3 == 0)
             std::cerr << "  running " << task.spec.id << "...\n";
@@ -301,14 +449,19 @@ cmdCompare(const std::string &id, const CliOptions &opts)
     const std::vector<ComparisonOutcome> outcomes =
         compareSweep(specs, base_cfg, memento_cfg, run_opts, engine);
 
+    if (store != nullptr)
+        reportStoreStats(*store);
+    if (g_stop.load(std::memory_order_relaxed))
+        return reportInterrupted(store.get());
+
     TextTable t({"workload", "speedup", "traffic", "faults base->mem",
                  "alloc/free/page/bypass"});
     std::vector<FailureRecord> failures;
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const ComparisonOutcome &out = outcomes[i];
         if (out.error) {
-            failures.push_back({specs[i].id, *out.error});
-            if (!opts.keepGoing)
+            failures.push_back({specs[i].id, *out.error, out.attempts});
+            if (!keep_going)
                 break;
             continue;
         }
@@ -417,21 +570,34 @@ cmdTrace(const std::string &id, const std::string &path)
 int
 cmdBench(const CliOptions &opts)
 {
+    const std::unique_ptr<ResultStore> store = makeStore(opts);
+    fatal_if(opts.cfg.sweep.shardIndex >= opts.cfg.sweep.shardCount,
+             "sweep.shard_index (", opts.cfg.sweep.shardIndex,
+             ") must be below sweep.shard_count (",
+             opts.cfg.sweep.shardCount, ")");
+
     BenchOptions bopts;
     bopts.cfg = opts.cfg;
     bopts.smoke = opts.smoke;
     bopts.repeats = opts.repeats;
     bopts.jobs = opts.jobs;
+    bopts.store = store.get();
+    bopts.shardIndex = opts.cfg.sweep.shardIndex;
+    bopts.shardCount = opts.cfg.sweep.shardCount;
 
     std::cerr << "benchmarking the " << (bopts.smoke ? "smoke" : "full")
               << " sweep (" << bopts.repeats
               << " timed repeat(s) per workload)...\n";
     const BenchReport report = runBench(bopts);
+    if (store != nullptr)
+        reportStoreStats(*store);
 
-    std::ofstream out(opts.outFile);
-    fatal_if(!out, "cannot open ", opts.outFile, " for writing");
-    writeBenchJson(out, report);
-    out << "\n";
+    // The report lands atomically: a reader (or a crash) never sees a
+    // half-written BENCH_*.json under the final name.
+    std::ostringstream buf;
+    writeBenchJson(buf, report);
+    buf << "\n";
+    writeFileAtomic(opts.outFile, buf.str());
 
     if (opts.json) {
         writeBenchJson(std::cout, report);
@@ -440,6 +606,36 @@ cmdBench(const CliOptions &opts)
         printBenchText(std::cout, report);
     }
     std::cerr << "wrote " << opts.outFile << "\n";
+    return 0;
+}
+
+int
+cmdMerge(const std::vector<std::string> &args)
+{
+    // args: merge <out-dir> <in-dir>... — variadic positionals, no
+    // flags, so this bypasses the table parser.
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        fatal_if(args[i].size() >= 2 && args[i][0] == '-' &&
+                     args[i][1] == '-',
+                 "merge accepts no options, got ", args[i]);
+    }
+    ResultStoreOptions so;
+    so.dir = args[1];
+    ResultStore store(std::move(so));
+
+    MergeStats total;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+        const MergeStats s = store.mergeFrom(args[i]);
+        std::cerr << "  " << args[i] << ": " << s.merged
+                  << " merged, " << s.duplicates << " duplicate(s), "
+                  << s.corrupt << " corrupt\n";
+        total.merged += s.merged;
+        total.duplicates += s.duplicates;
+        total.corrupt += s.corrupt;
+    }
+    std::cout << "merged " << total.merged << " cell(s) into " << args[1]
+              << " (" << total.duplicates << " duplicate(s), "
+              << total.corrupt << " corrupt)\n";
     return 0;
 }
 
@@ -493,6 +689,8 @@ main(int argc, char **argv)
         return 1;
     }
     try {
+        if (cmd == "merge")
+            return cmdMerge(args);
         const CliOptions opts =
             parseCommandOptions(*spec, args, 1 + spec->positionals);
         if (opts.helpRequested) {
