@@ -283,6 +283,23 @@ runBench(const BenchOptions &opts)
         report.aggregateOpsPerSec =
             static_cast<double>(report.totalOps) / report.jobs1WallSec;
 
+    // Fleet scenario: a fixed arrival run through src/fleet, so the
+    // BENCH_*.json trajectory tracks node-level throughput and latency
+    // percentiles PR over PR. Sharded runs skip it (like the totals
+    // phase): the scenario is a whole-node measurement.
+    if (opts.shardCount == 1) {
+        FleetOptions fopts;
+        fopts.cfg = opts.cfg;
+        fopts.cfg.fleet.invocations = opts.smoke ? 400 : 2000;
+        if (opts.smoke)
+            fopts.cfg.fleet.mix = "aes"; // One cheap profile run.
+        fopts.jobs = opts.jobs;
+        fopts.store = opts.store;
+        report.fleetCfg = fopts.cfg;
+        report.fleet = runFleet(fopts);
+        report.fleetRan = true;
+    }
+
     // Phase 2: the same sweep through the work-stealing engine. A
     // shard cannot measure the full sweep, so the totals cell is only
     // produced (and consumed) by unsharded runs; a post-merge full run
@@ -347,6 +364,27 @@ writeBenchJson(std::ostream &os, const BenchReport &report)
     w.member("jobsN_wall_sec", report.jobsNWallSec);
     w.member("aggregate_ops_per_sec", report.aggregateOpsPerSec);
     w.endObject();
+    if (report.fleetRan) {
+        const FleetMetrics &m = report.fleet.metrics;
+        w.key("fleet").beginObject();
+        w.member("arrival", report.fleet.fleet.arrival);
+        w.member("invocations", report.fleet.fleet.invocations);
+        w.member("cores", report.fleet.fleet.cores);
+        w.member("mix", report.fleet.fleet.mix);
+        w.member("completed", m.completed);
+        w.member("cold_starts", m.coldStarts);
+        w.member("p50_cycles", m.p50Cycles);
+        w.member("p99_cycles", m.p99Cycles);
+        w.member("p999_cycles", m.p999Cycles);
+        w.member("p50_ms", m.latencyMs(report.fleetCfg, m.p50Cycles));
+        w.member("p99_ms", m.latencyMs(report.fleetCfg, m.p99Cycles));
+        w.member("p999_ms", m.latencyMs(report.fleetCfg, m.p999Cycles));
+        w.member("throughput_rps", m.throughputRps(report.fleetCfg));
+        w.member("cold_start_rate", m.coldStartRate());
+        w.member("packing_density", m.packingDensity());
+        w.member("digest", digestToHex(m.digest));
+        w.endObject();
+    }
     w.endObject();
     w.complete();
 }
@@ -370,6 +408,20 @@ printBenchText(std::ostream &os, const BenchReport &report)
                   report.jobs1WallSec, report.jobsNWallSec, report.jobsN,
                   report.aggregateOpsPerSec);
     os << tail;
+    if (report.fleetRan) {
+        const FleetMetrics &m = report.fleet.metrics;
+        char fleet_line[200];
+        std::snprintf(fleet_line, sizeof fleet_line,
+                      "fleet: %llu invocations, %.1f rps, p50 %.3f ms, "
+                      "p99 %.3f ms, cold %.2f%%, digest %s\n",
+                      static_cast<unsigned long long>(m.completed),
+                      m.throughputRps(report.fleetCfg),
+                      m.latencyMs(report.fleetCfg, m.p50Cycles),
+                      m.latencyMs(report.fleetCfg, m.p99Cycles),
+                      m.coldStartRate() * 100.0,
+                      digestToHex(m.digest).c_str());
+        os << fleet_line;
+    }
 }
 
 } // namespace memento

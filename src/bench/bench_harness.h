@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet.h"
 #include "sim/config.h"
 
 namespace memento {
@@ -97,6 +98,18 @@ struct BenchReport
     unsigned jobsN = 1;
     /** totalOps / jobs1WallSec. */
     double aggregateOpsPerSec = 0.0;
+    /**
+     * Fleet scenario (src/fleet) benched alongside the sweep: a fixed
+     * Poisson arrival run (400 invocations in smoke mode, 2000 in
+     * full) whose throughput and latency percentiles land in the
+     * BENCH_*.json trajectory. Entirely integer-derived, so it is
+     * byte-identical across --jobs levels and cache resumes. Skipped
+     * (fleetRan == false) by sharded runs, like the totals phase.
+     */
+    bool fleetRan = false;
+    FleetReport fleet;
+    /** Config the fleet scenario ran under (for cycle->ms rendering). */
+    MachineConfig fleetCfg;
 };
 
 /** Run the benchmark (drives real simulations; takes seconds). */

@@ -98,7 +98,7 @@ allFlags()
              o.diagPolicy.werror = true;
          }},
         {"--out", "FILE",
-         "benchmark JSON output path (default BENCH_PR6.json)",
+         "benchmark JSON output path (default BENCH_PR8.json)",
          [](CliOptions &o, const std::string &v) { o.outFile = v; }},
         {"--repeat", "N",
          "timed repetitions per workload; the median is reported",
@@ -135,6 +135,25 @@ allFlags()
         {"--revalidate", "",
          "recompute a sample of cache hits; fail loudly on divergence",
          [](CliOptions &o, const std::string &) { o.revalidate = true; }},
+        // Fleet conveniences: each is sugar for --set fleet.<key>=V, so
+        // the schema's type and range validation applies unchanged.
+        {"--cores", "N", "fleet: simulated cores on the node",
+         [](CliOptions &o, const std::string &v) {
+             applyConfigOption("fleet.cores", v, o.cfg);
+         }},
+        {"--invocations", "N", "fleet: arrivals to generate",
+         [](CliOptions &o, const std::string &v) {
+             applyConfigOption("fleet.invocations", v, o.cfg);
+         }},
+        {"--arrival", "KIND",
+         "fleet: arrival process (poisson, bursty, diurnal)",
+         [](CliOptions &o, const std::string &v) {
+             applyConfigOption("fleet.arrival", v, o.cfg);
+         }},
+        {"--rate", "RPS", "fleet: mean arrival rate (requests/sec)",
+         [](CliOptions &o, const std::string &v) {
+             applyConfigOption("fleet.rate_rps", v, o.cfg);
+         }},
     };
     return flags;
 }
@@ -167,6 +186,11 @@ allCommands()
          "self-benchmark the simulator over the workload sweep",
          {"--config", "--set", "--memento", "--jobs", "--json", "--out",
           "--repeat", "--smoke", "--cache", "--no-cache", "--shard"},
+         0},
+        {"fleet", "",
+         "simulate a serverless node: arrivals, keep-alive, percentiles",
+         {"--config", "--set", "--memento", "--jobs", "--json", "--cores",
+          "--invocations", "--arrival", "--rate", "--cache", "--no-cache"},
          0},
         {"merge", "<out-dir> <in-dir>...",
          "merge partial result stores into one (validated union)",

@@ -59,7 +59,7 @@ struct CliOptions
     unsigned repeats = 3;
     std::string traceFile;
     /** bench: output JSON path. */
-    std::string outFile = "BENCH_PR6.json";
+    std::string outFile = "BENCH_PR8.json";
     DiagPolicy diagPolicy; ///< --allow / --werror (check, lint-config).
 };
 

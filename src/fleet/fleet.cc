@@ -1,0 +1,612 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "machine/result_store.h"
+#include "machine/sweep.h"
+#include "os/kernel_cost.h"
+#include "sim/config_canon.h"
+#include "sim/error.h"
+#include "sim/json.h"
+#include "val/digest.h"
+
+namespace memento {
+namespace {
+
+/** Sentinel folded into the digest for a rejected arrival. */
+constexpr std::uint64_t kRejectedMark = ~0ull;
+
+/** Nearest-rank percentile (num/den) of an ascending latency vector. */
+Cycles
+nearestRank(const std::vector<Cycles> &sorted, std::uint64_t num,
+            std::uint64_t den)
+{
+    if (sorted.empty())
+        return 0;
+    const auto n = static_cast<std::uint64_t>(sorted.size());
+    std::uint64_t rank = (num * n + den - 1) / den; // ceil(num/den * n)
+    if (rank == 0)
+        rank = 1;
+    return sorted[rank - 1];
+}
+
+/** One core of the simulated node. */
+struct CoreState
+{
+    /** The core is busy until this cycle. */
+    Cycles freeAt = 0;
+    /** Instance id whose state the core last ran (0 = fresh core). */
+    std::uint64_t lastInstance = 0;
+    /** HOT entries that instance left valid (flushed on next switch). */
+    std::uint64_t lastHotValid = 0;
+};
+
+/** One resident function instance (warm container). */
+struct InstanceState
+{
+    std::size_t workload = 0;
+    unsigned core = 0;
+    std::uint64_t pages = 0;
+    /** Busy until this cycle; idle (warm) afterwards. */
+    Cycles busyUntil = 0;
+};
+
+std::string
+u64Field(std::string_view key, std::uint64_t v, bool last = false)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "\"%.*s\": %" PRIu64 "%s",
+                  static_cast<int>(key.size()), key.data(), v,
+                  last ? "" : ", ");
+    return buf;
+}
+
+/** The integer fields persisted in a fleet summary cell, in order. */
+constexpr const char *kMetricFields[] = {
+    "arrivals",      "completed",   "rejected",
+    "cold_starts",   "warm_hits",   "evictions",
+    "expirations",   "makespan",    "p50",
+    "p99",           "p999",        "peak_rss_pages",
+    "residency_area", "digest",
+};
+
+std::vector<std::uint64_t *>
+metricSlots(FleetMetrics &m)
+{
+    return {&m.arrivals,    &m.completed,          &m.rejected,
+            &m.coldStarts,  &m.warmHits,           &m.evictions,
+            &m.expirations, &m.makespanCycles,     &m.p50Cycles,
+            &m.p99Cycles,   &m.p999Cycles,         &m.peakRssPages,
+            &m.residencyCycleArea, &m.digest};
+}
+
+/** Serialize metrics as the fleet summary cell payload. */
+std::string
+metricsPayload(const FleetMetrics &metrics)
+{
+    FleetMetrics m = metrics;
+    const std::vector<std::uint64_t *> slots = metricSlots(m);
+    std::string out = "{";
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        out += u64Field(kMetricFields[i], *slots[i],
+                        i + 1 == slots.size());
+    out += "}";
+    return out;
+}
+
+/** Parse a summary cell payload; false on any missing/non-int field. */
+bool
+parseMetricsPayload(const std::string &payload, FleetMetrics &out)
+{
+    JsonValue doc;
+    std::string err;
+    if (!parseJson(payload, doc, err) || !doc.isObject())
+        return false;
+    const std::vector<std::uint64_t *> slots = metricSlots(out);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        const JsonValue *v = doc.find(kMetricFields[i]);
+        if (v == nullptr || !v->isNumber() || !v->isInteger)
+            return false;
+        *slots[i] = v->u64;
+    }
+    return true;
+}
+
+} // namespace
+
+double
+FleetMetrics::latencyMs(const MachineConfig &cfg, Cycles latency) const
+{
+    return cfg.cyclesToMs(latency);
+}
+
+double
+FleetMetrics::throughputRps(const MachineConfig &cfg) const
+{
+    if (makespanCycles == 0)
+        return 0.0;
+    return static_cast<double>(completed) * cfg.core.freqGhz * 1.0e9 /
+           static_cast<double>(makespanCycles);
+}
+
+double
+FleetMetrics::coldStartRate() const
+{
+    if (completed == 0)
+        return 0.0;
+    return static_cast<double>(coldStarts) /
+           static_cast<double>(completed);
+}
+
+double
+FleetMetrics::packingDensity() const
+{
+    if (makespanCycles == 0)
+        return 0.0;
+    return static_cast<double>(residencyCycleArea) /
+           static_cast<double>(makespanCycles);
+}
+
+std::vector<WorkloadSpec>
+fleetMix(const FleetConfig &fleet)
+{
+    if (fleet.mix == "function")
+        return workloadsByDomain(Domain::Function);
+    if (fleet.mix == "all")
+        return allWorkloads();
+    return {workloadById(fleet.mix)};
+}
+
+Cycles
+fleetSwitchCost(const MachineConfig &cfg, std::uint64_t hot_valid)
+{
+    // Definitionally KernelCostModel::chargeContextSwitch for a switch
+    // flushing hot_valid entries (held together by a unit test).
+    return cfg.kernel.contextSwitchCycles + hot_valid * cfg.memento.hotLatency;
+}
+
+Cycles
+fleetReclaimCost(const MachineConfig &cfg, std::uint64_t pages)
+{
+    // Memento reclaims at arena granularity: the hardware returns whole
+    // arena spans to the page pool, so the kernel tears down one unit
+    // per span instead of one per page.
+    std::uint64_t units = pages;
+    if (cfg.memento.enabled) {
+        const std::uint64_t pages_per_arena =
+            std::max<std::uint64_t>(1, cfg.memento.objectsPerArena *
+                                           cfg.memento.maxSmallSize /
+                                           kPageSize);
+        units = (pages + pages_per_arena - 1) / pages_per_arena;
+    }
+    const InstCount instr = cfg.kernel.munmapBaseInstructions +
+                            cfg.kernel.munmapPerPageInstructions * units;
+    // Same instruction->cycle rounding as Machine::chargeInstructions.
+    return static_cast<Cycles>(
+        static_cast<double>(instr) / cfg.core.baseIpc + 0.5);
+}
+
+Cycles
+fleetColdSetupCost(const MachineConfig &cfg)
+{
+    return static_cast<Cycles>(
+        static_cast<double>(KernelCostModel::kContainerSetupInstructions) /
+            cfg.core.baseIpc +
+        0.5);
+}
+
+std::string
+fleetCanonicalText(const FleetConfig &fleet)
+{
+    std::ostringstream os;
+    const auto f64 = [&os](const char *key, double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os << key << "=" << buf << "\n";
+    };
+    // Sorted by key, one per line, like canonicalConfigText.
+    os << "fleet.arrival=" << fleet.arrival << "\n";
+    f64("fleet.burst_factor", fleet.burstFactor);
+    f64("fleet.burst_ms", fleet.burstMs);
+    os << "fleet.cores=" << fleet.cores << "\n";
+    os << "fleet.invocations=" << fleet.invocations << "\n";
+    f64("fleet.keep_alive_ms", fleet.keepAliveMs);
+    os << "fleet.memory_budget_pages=" << fleet.memoryBudgetPages << "\n";
+    os << "fleet.mix=" << fleet.mix << "\n";
+    f64("fleet.period_ms", fleet.periodMs);
+    f64("fleet.rate_rps", fleet.ratePerSec);
+    os << "fleet.seed=" << fleet.seed << "\n";
+    return os.str();
+}
+
+FleetMetrics
+simulateFleet(const std::vector<Arrival> &arrivals,
+              const std::vector<FleetProfile> &profiles,
+              const MachineConfig &cfg)
+{
+    const FleetConfig &fleet = cfg.fleet;
+    sim_error_if(fleet.cores == 0, ErrorCategory::Config,
+                 "fleet.cores must be at least 1");
+    sim_error_if(profiles.empty(), ErrorCategory::Config,
+                 "fleet: the workload mix is empty");
+
+    const Cycles keep_alive = cfg.msToCycles(fleet.keepAliveMs);
+    const std::uint64_t budget = fleet.memoryBudgetPages;
+    const Cycles cold_setup = fleetColdSetupCost(cfg);
+
+    std::vector<CoreState> cores(fleet.cores);
+    // Instances keyed by id: iteration order == creation order, so
+    // every scan below is deterministic.
+    std::map<std::uint64_t, InstanceState> instances;
+    std::uint64_t next_instance_id = 1;
+    std::uint64_t rss_pages = 0;
+
+    FleetMetrics m;
+    m.arrivals = arrivals.size();
+
+    DigestBuilder digest;
+    digest.add(std::string_view("memento-fleet-state"));
+    digest.add(fleetCanonicalText(fleet));
+    digest.add(static_cast<std::uint64_t>(profiles.size()));
+    for (const FleetProfile &p : profiles) {
+        digest.add(std::string_view(p.id));
+        digest.add(p.serviceCycles);
+        digest.add(p.pages);
+        digest.add(p.hotValidEntries);
+    }
+
+    std::vector<Cycles> latencies;
+    latencies.reserve(arrivals.size());
+    Cycles prev_t = 0;
+
+    for (const Arrival &arr : arrivals) {
+        const Cycles t = arr.atCycles;
+        sim_error_if(arr.workloadIndex >= profiles.size(),
+                     ErrorCategory::Config,
+                     "fleet: arrival references workload ",
+                     arr.workloadIndex, " outside the mix");
+        const FleetProfile &prof = profiles[arr.workloadIndex];
+
+        // Packing integral: resident count is a step function sampled
+        // at arrival granularity (expirations are folded in lazily at
+        // the next arrival, matching when the node would notice).
+        m.residencyCycleArea +=
+            static_cast<std::uint64_t>(instances.size()) * (t - prev_t);
+        prev_t = t;
+
+        // 1. Keep-alive expiry: an instance idle since busyUntil lapses
+        // once its idle span exceeds the keep-alive window.
+        for (auto it = instances.begin(); it != instances.end();) {
+            if (it->second.busyUntil + keep_alive <= t) {
+                rss_pages -= it->second.pages;
+                ++m.expirations;
+                it = instances.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        // 2. Warm path: an idle, unexpired instance of this workload.
+        // Prefer the most recently used (tie: lowest id) — MRU reuse
+        // lets the cold tail expire instead of round-robining it warm.
+        std::uint64_t warm_id = 0;
+        for (const auto &[id, inst] : instances) {
+            if (inst.workload != arr.workloadIndex || inst.busyUntil > t)
+                continue;
+            if (warm_id == 0 ||
+                inst.busyUntil > instances[warm_id].busyUntil)
+                warm_id = id;
+        }
+
+        Cycles setup = 0;
+        std::uint64_t run_id = warm_id;
+        if (warm_id != 0) {
+            ++m.warmHits;
+        } else {
+            // 3. Cold path: admit a new instance, evicting idle ones
+            // LRU-first while over the memory budget. The munmap-model
+            // reclaim cost of every eviction is charged to this
+            // arrival's latency — memory pressure is not free.
+            bool admitted = budget == 0 || prof.pages <= budget;
+            while (budget != 0 && admitted &&
+                   rss_pages + prof.pages > budget) {
+                std::uint64_t victim = 0;
+                for (const auto &[id, inst] : instances) {
+                    if (inst.busyUntil > t)
+                        continue; // Busy instances are unevictable.
+                    if (victim == 0 ||
+                        inst.busyUntil < instances[victim].busyUntil)
+                        victim = id;
+                }
+                if (victim == 0) {
+                    admitted = false; // Nothing left to evict.
+                    break;
+                }
+                const InstanceState &v = instances[victim];
+                rss_pages -= v.pages;
+                setup += fleetReclaimCost(cfg, v.pages);
+                ++m.evictions;
+                instances.erase(victim);
+            }
+            if (!admitted) {
+                ++m.rejected;
+                digest.add(t);
+                digest.add(static_cast<std::uint64_t>(arr.workloadIndex));
+                digest.add(kRejectedMark);
+                continue;
+            }
+            // Place on the earliest-free core (tie: lowest index).
+            unsigned core = 0;
+            for (unsigned c = 1; c < cores.size(); ++c) {
+                if (cores[c].freeAt < cores[core].freeAt)
+                    core = c;
+            }
+            InstanceState inst;
+            inst.workload = arr.workloadIndex;
+            inst.core = core;
+            inst.pages = prof.pages;
+            run_id = next_instance_id++;
+            instances[run_id] = inst;
+            rss_pages += prof.pages;
+            m.peakRssPages = std::max(m.peakRssPages, rss_pages);
+            ++m.coldStarts;
+            setup += cold_setup;
+        }
+
+        // 4. Dispatch: switching the core away from another instance
+        // flushes the HOT residue that instance left (kernel_cost.h).
+        InstanceState &inst = instances[run_id];
+        CoreState &core = cores[inst.core];
+        Cycles switch_cost = 0;
+        if (core.lastInstance != run_id) {
+            switch_cost = fleetSwitchCost(cfg, core.lastHotValid);
+        }
+        const Cycles start = std::max(t, core.freeAt);
+        const Cycles end =
+            start + switch_cost + setup + prof.serviceCycles;
+        core.freeAt = end;
+        core.lastInstance = run_id;
+        core.lastHotValid = prof.hotValidEntries;
+        inst.busyUntil = end;
+
+        const Cycles latency = end - t;
+        latencies.push_back(latency);
+        ++m.completed;
+        m.makespanCycles = std::max(m.makespanCycles, end);
+
+        digest.add(t);
+        digest.add(static_cast<std::uint64_t>(arr.workloadIndex));
+        digest.add(latency);
+    }
+
+    // Tail of the packing integral: the window closes at the makespan.
+    if (m.makespanCycles > prev_t)
+        m.residencyCycleArea +=
+            static_cast<std::uint64_t>(instances.size()) *
+            (m.makespanCycles - prev_t);
+
+    std::sort(latencies.begin(), latencies.end());
+    m.p50Cycles = nearestRank(latencies, 50, 100);
+    m.p99Cycles = nearestRank(latencies, 99, 100);
+    m.p999Cycles = nearestRank(latencies, 999, 1000);
+
+    // Fold the counters and the final node state, so the digest pins
+    // the complete outcome, not just the per-arrival trajectory.
+    digest.add(m.completed);
+    digest.add(m.rejected);
+    digest.add(m.coldStarts);
+    digest.add(m.warmHits);
+    digest.add(m.evictions);
+    digest.add(m.expirations);
+    digest.add(m.makespanCycles);
+    digest.add(m.peakRssPages);
+    digest.add(m.residencyCycleArea);
+    digest.add(rss_pages);
+    digest.add(static_cast<std::uint64_t>(instances.size()));
+    for (const CoreState &c : cores) {
+        digest.add(c.freeAt);
+        digest.add(c.lastInstance);
+        digest.add(c.lastHotValid);
+    }
+    m.digest = digest.value();
+    return m;
+}
+
+FleetReport
+runFleet(const FleetOptions &opts)
+{
+    const MachineConfig &cfg = opts.cfg;
+    if (!validArrivalKind(cfg.fleet.arrival)) {
+        sim_error(ErrorCategory::Config, "fleet.arrival '",
+                  cfg.fleet.arrival,
+                  "' is not one of poisson, bursty, diurnal");
+    }
+    const std::vector<WorkloadSpec> mix = fleetMix(cfg.fleet);
+
+    FleetReport report;
+    report.fleet = cfg.fleet;
+
+    // Stage 1: profile every workload in the mix through the sweep
+    // engine — default RunOptions, so `run`/`bench` and fleet all share
+    // the same cached run cells.
+    std::vector<SweepTask> tasks;
+    tasks.reserve(mix.size());
+    for (const WorkloadSpec &spec : mix)
+        tasks.push_back(SweepTask{spec, cfg, RunOptions{}, nullptr, {}});
+    SweepOptions sweep_opts;
+    sweep_opts.jobs = opts.jobs;
+    sweep_opts.store = opts.store;
+    SweepEngine engine(sweep_opts);
+    const std::vector<SweepOutcome> outcomes = engine.run(tasks);
+
+    report.profiles.reserve(mix.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const RunResult &res = outcomes[i].result;
+        if (outcomes[i].skipped || res.error) {
+            const RunError err = res.error.value_or(
+                RunError{ErrorCategory::Internal, "profile run skipped",
+                         SimError::kNoOpIndex});
+            SimError boxed(err.category,
+                           "fleet: profiling workload '" + mix[i].id +
+                               "' failed: " + err.message);
+            boxed.tagOpIndex(err.opIndex);
+            throw boxed;
+        }
+        FleetProfile prof;
+        prof.id = mix[i].id;
+        prof.serviceCycles = res.cycles;
+        prof.pages = res.peakResidentPages;
+        prof.hotValidEntries = res.hotValidEntries;
+        report.profiles.push_back(std::move(prof));
+    }
+
+    // Stage 2: the fleet event loop, behind its own summary cell.
+    CellKey key;
+    if (opts.store != nullptr) {
+        key = opts.store->derivedKey({"fleet-summary",
+                                      canonicalConfigText(cfg),
+                                      fleetCanonicalText(cfg.fleet)});
+        std::string payload;
+        if (opts.store->loadCell(key, "fleet", payload)) {
+            if (parseMetricsPayload(payload, report.metrics)) {
+                report.fromCache = true;
+                return report;
+            }
+            // Payload no longer parses: treat like any other damage.
+            opts.store->quarantine(key);
+        }
+    }
+
+    const std::vector<Arrival> arrivals =
+        generateArrivals(cfg, mix.size());
+    report.metrics = simulateFleet(arrivals, report.profiles, cfg);
+    if (opts.store != nullptr)
+        opts.store->storeCell(key, "fleet", metricsPayload(report.metrics));
+    return report;
+}
+
+void
+writeFleetJson(std::ostream &os, const FleetReport &report,
+               const MachineConfig &cfg)
+{
+    const FleetMetrics &m = report.metrics;
+    JsonWriter w(os);
+    w.beginObject();
+    writeSchemaHeader(w, "fleet");
+    w.member("git_sha", codeVersionString());
+    w.member("memento", cfg.memento.enabled);
+
+    w.key("fleet").beginObject();
+    w.member("arrival", report.fleet.arrival);
+    w.member("rate_rps", report.fleet.ratePerSec);
+    w.member("invocations", report.fleet.invocations);
+    w.member("cores", report.fleet.cores);
+    w.member("seed", report.fleet.seed);
+    w.member("keep_alive_ms", report.fleet.keepAliveMs);
+    w.member("memory_budget_pages", report.fleet.memoryBudgetPages);
+    w.member("mix", report.fleet.mix);
+    w.endObject();
+
+    w.key("profiles").beginArray();
+    for (const FleetProfile &p : report.profiles) {
+        w.beginObject();
+        w.member("workload", p.id);
+        w.member("service_cycles", p.serviceCycles);
+        w.member("pages", p.pages);
+        w.member("hot_valid_entries", p.hotValidEntries);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("metrics").beginObject();
+    w.member("arrivals", m.arrivals);
+    w.member("completed", m.completed);
+    w.member("rejected", m.rejected);
+    w.member("cold_starts", m.coldStarts);
+    w.member("warm_hits", m.warmHits);
+    w.member("evictions", m.evictions);
+    w.member("expirations", m.expirations);
+    w.member("makespan_cycles", m.makespanCycles);
+    w.member("p50_cycles", m.p50Cycles);
+    w.member("p99_cycles", m.p99Cycles);
+    w.member("p999_cycles", m.p999Cycles);
+    w.member("p50_ms", m.latencyMs(cfg, m.p50Cycles));
+    w.member("p99_ms", m.latencyMs(cfg, m.p99Cycles));
+    w.member("p999_ms", m.latencyMs(cfg, m.p999Cycles));
+    w.member("throughput_rps", m.throughputRps(cfg));
+    w.member("cold_start_rate", m.coldStartRate());
+    w.member("packing_density", m.packingDensity());
+    w.member("peak_rss_pages", m.peakRssPages);
+    w.member("residency_cycle_area", m.residencyCycleArea);
+    w.member("digest", digestToHex(m.digest));
+    w.endObject();
+
+    w.endObject();
+    os << "\n";
+}
+
+void
+printFleetText(std::ostream &os, const FleetReport &report,
+               const MachineConfig &cfg)
+{
+    const FleetMetrics &m = report.metrics;
+    char buf[256];
+
+    std::snprintf(buf, sizeof(buf),
+                  "fleet: %" PRIu64 " arrivals (%s @ %.1f rps), %u cores, "
+                  "mix %s, memento %s\n",
+                  m.arrivals, report.fleet.arrival.c_str(),
+                  report.fleet.ratePerSec, report.fleet.cores,
+                  report.fleet.mix.c_str(),
+                  cfg.memento.enabled ? "on" : "off");
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "policy: keep-alive %.1f ms, memory budget %" PRIu64
+                  " pages%s\n",
+                  report.fleet.keepAliveMs, report.fleet.memoryBudgetPages,
+                  report.fleet.memoryBudgetPages == 0 ? " (unbounded)" : "");
+    os << buf;
+
+    os << "profiles:\n";
+    for (const FleetProfile &p : report.profiles) {
+        std::snprintf(buf, sizeof(buf),
+                      "  %-12s service %10" PRIu64 " cyc  rss %6" PRIu64
+                      " pages  hot %3" PRIu64 "\n",
+                      p.id.c_str(), p.serviceCycles, p.pages,
+                      p.hotValidEntries);
+        os << buf;
+    }
+
+    std::snprintf(buf, sizeof(buf),
+                  "completed %" PRIu64 "  rejected %" PRIu64
+                  "  cold starts %" PRIu64 " (%.2f%%)  warm hits %" PRIu64
+                  "\n",
+                  m.completed, m.rejected, m.coldStarts,
+                  m.coldStartRate() * 100.0, m.warmHits);
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "evictions %" PRIu64 "  expirations %" PRIu64
+                  "  peak rss %" PRIu64 " pages\n",
+                  m.evictions, m.expirations, m.peakRssPages);
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "latency p50 %.3f ms  p99 %.3f ms  p99.9 %.3f ms\n",
+                  m.latencyMs(cfg, m.p50Cycles),
+                  m.latencyMs(cfg, m.p99Cycles),
+                  m.latencyMs(cfg, m.p999Cycles));
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "throughput %.1f rps  packing density %.2f instances  "
+                  "makespan %.1f ms\n",
+                  m.throughputRps(cfg), m.packingDensity(),
+                  cfg.cyclesToMs(m.makespanCycles));
+    os << buf;
+    os << "fleet digest " << digestToHex(m.digest) << "\n";
+}
+
+} // namespace memento

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Fleet-scale serverless node simulation (ROADMAP item 1: the
+ * "millions of users" scenario).
+ *
+ * One `memento_sim fleet` run models a whole multi-tenant node instead
+ * of a single invocation: an open-loop arrival process (fleet/arrivals.h)
+ * dispatches thousands of function invocations across fleet.cores
+ * simulated cores under a keep-alive policy (idle instances stay warm
+ * for fleet.keep_alive_ms) and a memory-pressure policy (cold starts
+ * that would push node RSS past fleet.memory_budget_pages first evict
+ * idle instances LRU-first, reclaiming their arenas; if pressure still
+ * cannot be relieved the arrival is rejected).
+ *
+ * The simulation is two-staged so it scales to fleets:
+ *
+ *  1. Profile stage (parallel): each distinct workload in the mix is
+ *     run once through Experiment via the SweepEngine — the same
+ *     work-stealing pool, result-store caching, and slot-merge
+ *     machinery as `run all`, so profiles are byte-identical at any
+ *     --jobs level and resume from a --cache store for free. A profile
+ *     is the invocation's service time (cycles), its resident-set size
+ *     (pages), and the HOT residue it leaves on a core (valid entries).
+ *  2. Fleet stage (serial, integer-cycle event loop): arrivals are
+ *     replayed in time order against per-core and per-instance state.
+ *     A context switch onto a core charges the multi-proc sensitivity
+ *     cost model of os/kernel_cost.h — kernel.context_switch_cycles
+ *     plus one HOT-entry writeback per valid entry left by the
+ *     previous instance (fleetSwitchCost() is definitionally equal to
+ *     KernelCostModel::chargeContextSwitch, and a unit test holds the
+ *     two together).
+ *
+ * Everything the fleet stage computes is integer cycles and counters;
+ * reported doubles (latency percentiles in ms, throughput, packing
+ * density) are derived at render time from those integers, so output
+ * is byte-identical across --jobs levels and across resume-from-store.
+ * An FNV-1a digest over the complete arrival-by-arrival outcome makes
+ * "byte-identical" cheap to assert end to end.
+ */
+
+#ifndef MEMENTO_FLEET_FLEET_H
+#define MEMENTO_FLEET_FLEET_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fleet/arrivals.h"
+#include "sim/config.h"
+#include "wl/workloads.h"
+
+namespace memento {
+
+class ResultStore;
+
+/** Per-invocation profile of one workload in the mix (stage 1). */
+struct FleetProfile
+{
+    std::string id;
+    /** Service time of one warm invocation (cycles). */
+    Cycles serviceCycles = 0;
+    /** Resident-set size one instance pins (pages). */
+    std::uint64_t pages = 0;
+    /** HOT entries a finished invocation leaves valid on its core. */
+    std::uint64_t hotValidEntries = 0;
+};
+
+/**
+ * Everything the fleet stage produces, as integers. The doubles every
+ * report shows (ms percentiles, throughput, packing density) are
+ * derived from these on demand, never stored, so two runs agree on
+ * the doubles exactly iff they agree on this struct.
+ */
+struct FleetMetrics
+{
+    std::uint64_t arrivals = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t coldStarts = 0;
+    std::uint64_t warmHits = 0;
+    std::uint64_t evictions = 0;   ///< Instances evicted under pressure.
+    std::uint64_t expirations = 0; ///< Instances whose keep-alive lapsed.
+    /** Last completion time (cycles from window start). */
+    Cycles makespanCycles = 0;
+    /** Nearest-rank invocation latency percentiles (cycles). */
+    Cycles p50Cycles = 0;
+    Cycles p99Cycles = 0;
+    Cycles p999Cycles = 0;
+    std::uint64_t peakRssPages = 0;
+    /** Integral of resident instance count over cycles (packing). */
+    std::uint64_t residencyCycleArea = 0;
+    /** FNV-1a digest over the complete fleet outcome. */
+    std::uint64_t digest = 0;
+
+    bool operator==(const FleetMetrics &) const = default;
+
+    // ---- Derived report values (pure functions of the integers) ----
+    double latencyMs(const MachineConfig &cfg, Cycles latency) const;
+    /** completed / makespan, in invocations per second. */
+    double throughputRps(const MachineConfig &cfg) const;
+    /** coldStarts / completed (0 when nothing completed). */
+    double coldStartRate() const;
+    /** Time-averaged resident instances (packing density). */
+    double packingDensity() const;
+};
+
+/** The full fleet result. */
+struct FleetReport
+{
+    /** The fleet configuration the run used (echoed into reports). */
+    FleetConfig fleet;
+    /** Stage-1 profiles, in mix order. */
+    std::vector<FleetProfile> profiles;
+    FleetMetrics metrics;
+    /** True when the metrics came from a cached fleet summary cell. */
+    bool fromCache = false;
+};
+
+struct FleetOptions
+{
+    MachineConfig cfg = defaultConfig();
+    /** Stage-1 profile workers; 0 = hardware concurrency. */
+    unsigned jobs = 0;
+    /** Optional result store (profile cells + fleet summary cell). */
+    ResultStore *store = nullptr;
+};
+
+/**
+ * Resolve fleet.mix to workload specs: "function" (the 14 function
+ * workloads), "all" (all 23), or one workload id. fatal()s on an
+ * unknown id, like workloadById.
+ */
+std::vector<WorkloadSpec> fleetMix(const FleetConfig &fleet);
+
+/**
+ * Cost of switching a core to a different instance: exactly what
+ * KernelCostModel::chargeContextSwitch charges for a switch that
+ * flushes @p hot_valid HOT entries.
+ */
+Cycles fleetSwitchCost(const MachineConfig &cfg, std::uint64_t hot_valid);
+
+/**
+ * Cost of reclaiming an evicted instance's memory (@p pages).
+ * Baseline: munmap per-page teardown. With Memento: arena-granular
+ * reclamation — the hardware frees whole arenas back to the page pool,
+ * so the kernel tears down one unit per arena span instead of one per
+ * page (see DESIGN.md §10).
+ */
+Cycles fleetReclaimCost(const MachineConfig &cfg, std::uint64_t pages);
+
+/** Container set-up cost of a cold start (kernel_cost.h budget). */
+Cycles fleetColdSetupCost(const MachineConfig &cfg);
+
+/**
+ * Canonical `key=value` text of the fleet shape, folded into the fleet
+ * summary cell key and the fleet digest (the fleet analogue of
+ * canonicalConfigText, which deliberately excludes fleet.*).
+ */
+std::string fleetCanonicalText(const FleetConfig &fleet);
+
+/**
+ * The fleet stage alone: replay @p arrivals (time-ordered) against
+ * @p profiles under cfg.fleet policy. Exposed separately so the
+ * property/fuzz tests can drive hand-built arrival traces and profiles
+ * through the exact production scheduler.
+ */
+FleetMetrics simulateFleet(const std::vector<Arrival> &arrivals,
+                           const std::vector<FleetProfile> &profiles,
+                           const MachineConfig &cfg);
+
+/**
+ * Both stages: profile the mix (through the sweep engine, cached when
+ * opts.store is set), generate arrivals, and run the fleet. A cached
+ * fleet summary cell skips the fleet stage entirely. Throws SimError
+ * when a profile run fails or the fleet config is invalid.
+ */
+FleetReport runFleet(const FleetOptions &opts);
+
+/** Versioned JSON document (kind "fleet"). */
+void writeFleetJson(std::ostream &os, const FleetReport &report,
+                    const MachineConfig &cfg);
+
+/** Human-readable rendering, digest line included. */
+void printFleetText(std::ostream &os, const FleetReport &report,
+                    const MachineConfig &cfg);
+
+} // namespace memento
+
+#endif // MEMENTO_FLEET_FLEET_H

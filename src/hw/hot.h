@@ -48,6 +48,23 @@ class Hot
      */
     unsigned flush();
 
+    /**
+     * Entries currently valid — what flush() would return right now.
+     * The fleet scheduler (src/fleet) reads this at function end to
+     * price the HOT flush a context switch away from this instance
+     * would cost.
+     */
+    unsigned
+    validEntries() const
+    {
+        unsigned valid = 0;
+        for (const HotEntry &e : entries_) {
+            if (e.valid)
+                ++valid;
+        }
+        return valid;
+    }
+
     double allocHitRate() const;
     double freeHitRate() const;
 

@@ -179,6 +179,8 @@ Experiment::tryRunOne(const WorkloadSpec &spec, const Trace &trace,
     res.hotFreeMisses = hotFreeMisses.delta();
     res.allocListOps = allocListOps.delta();
     res.freeListOps = freeListOps.delta();
+    res.hotValidEntries =
+        machine->hot() != nullptr ? machine->hot()->validEntries() : 0;
 
     res.fragInactiveFraction = executor.fragSample();
     if (cfg.memento.enabled && !cfg.memento.mallaccMode) {

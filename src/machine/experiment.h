@@ -72,6 +72,12 @@ struct RunResult
     std::uint64_t freeListOps = 0;
     std::uint64_t objAllocs = 0; ///< Small allocations performed.
     std::uint64_t objFrees = 0;  ///< Small frees performed.
+    /**
+     * HOT entries valid when the run ended (0 without Memento). The
+     * fleet scheduler charges this many writebacks when a context
+     * switch flushes the instance's HOT residue off the core.
+     */
+    std::uint64_t hotValidEntries = 0;
     double fragInactiveFraction = 0.0;
 
     /**

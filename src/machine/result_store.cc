@@ -158,6 +158,7 @@ runPayload(const RunResult &r, unsigned attempts)
     w.member("free_list_ops", r.freeListOps);
     w.member("obj_allocs", r.objAllocs);
     w.member("obj_frees", r.objFrees);
+    w.member("hot_valid_entries", r.hotValidEntries);
     w.member("frag_inactive_bits", doubleBits(r.fragInactiveFraction));
     if (r.error.has_value()) {
         w.key("error").beginObject();
@@ -218,6 +219,7 @@ parseRunPayload(std::string_view payload, RunResult &r, unsigned &attempts)
         !getU64(doc, "free_list_ops", r.freeListOps) ||
         !getU64(doc, "obj_allocs", r.objAllocs) ||
         !getU64(doc, "obj_frees", r.objFrees) ||
+        !getU64(doc, "hot_valid_entries", r.hotValidEntries) ||
         !getU64(doc, "frag_inactive_bits", frag_bits) ||
         !getU64(doc, "digest", r.digest))
         return false;

@@ -7,8 +7,10 @@
 #include <string_view>
 #include <vector>
 
+#include "fleet/arrivals.h"
 #include "sim/config_schema.h"
 #include "sim/logging.h"
+#include "wl/workloads.h"
 
 namespace memento {
 namespace {
@@ -206,6 +208,44 @@ lintConfigStream(std::istream &is, const std::string &subject,
                        ") exceeds the check.max_ops watchdog budget (",
                        cfg.check.maxOps,
                        "); the invariant checker can never fire"));
+    }
+
+    if (line_of("fleet.arrival") && !validArrivalKind(cfg.fleet.arrival)) {
+        report.add("config-fleet-bad-arrival", subject,
+                   line_of("fleet.arrival"),
+                   detail::formatMsg(
+                       "fleet.arrival '", cfg.fleet.arrival,
+                       "' is not one of poisson, bursty, diurnal"));
+    }
+
+    if (line_of("fleet.mix") && cfg.fleet.mix != "function" &&
+        cfg.fleet.mix != "all") {
+        bool known = false;
+        for (const WorkloadSpec &spec : allWorkloads()) {
+            if (spec.id == cfg.fleet.mix) {
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            report.add("config-fleet-bad-mix", subject,
+                       line_of("fleet.mix"),
+                       detail::formatMsg(
+                           "fleet.mix '", cfg.fleet.mix,
+                           "' is neither 'function', 'all', nor a "
+                           "workload id"));
+        }
+    }
+
+    if (line_of("fleet.keep_alive_ms") && cfg.fleet.keepAliveMs > 0 &&
+        cfg.fleet.memoryBudgetPages == 0) {
+        report.add("config-fleet-keepalive-no-budget", subject,
+                   line_of("fleet.keep_alive_ms"),
+                   detail::formatMsg(
+                       "fleet.keep_alive_ms (", cfg.fleet.keepAliveMs,
+                       ") keeps instances warm but "
+                       "fleet.memory_budget_pages is 0 (unbounded); "
+                       "node RSS can grow without limit"));
     }
 }
 

@@ -75,6 +75,13 @@ allDiagRules()
         {"config-retry-no-keep-going", DiagSeverity::Warning,
          "sweep.retry is set without sweep.keep_going, so the first "
          "cell that exhausts its retries still aborts the sweep"},
+        {"config-fleet-bad-arrival", DiagSeverity::Error,
+         "fleet.arrival is not one of poisson, bursty, diurnal"},
+        {"config-fleet-bad-mix", DiagSeverity::Error,
+         "fleet.mix is neither 'function', 'all', nor a workload id"},
+        {"config-fleet-keepalive-no-budget", DiagSeverity::Warning,
+         "fleet.keep_alive_ms keeps instances warm with no "
+         "fleet.memory_budget_pages, so node RSS grows unbounded"},
     };
     return rules;
 }

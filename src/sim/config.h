@@ -233,6 +233,40 @@ struct SweepPolicyConfig
     bool keepGoing = false;
 };
 
+/**
+ * Fleet-scenario configuration (src/fleet): the arrival process, node
+ * geometry, keep-alive window, and memory-pressure policy of the
+ * fleet-scale serverless node simulation. Like sweep.*, fleet.* keys
+ * shape a layer built *on top of* per-invocation runs: they are
+ * excluded from canonical run-cell keys (a workload's invocation
+ * profile does not depend on the fleet around it) and folded into the
+ * fleet summary cell key instead (see src/fleet/fleet.h).
+ */
+struct FleetConfig
+{
+    /** Arrival process: "poisson", "bursty", or "diurnal". */
+    std::string arrival = "poisson";
+    /** Mean arrival rate (invocations per second). */
+    double ratePerSec = 2000.0;
+    /** Total invocations to generate. */
+    std::uint64_t invocations = 2000;
+    /** Simulated cores on the node. */
+    unsigned cores = 8;
+    /** Seed of the arrival process RNG. */
+    std::uint64_t seed = 1;
+    /** Keep-alive window for idle instances (ms; 0 = none). */
+    double keepAliveMs = 50.0;
+    /** Node RSS budget in pages (0 = unlimited). */
+    std::uint64_t memoryBudgetPages = 0;
+    /** bursty: rate multiplier inside a burst. */
+    double burstFactor = 8.0;
+    /** bursty: burst length and burst period (ms). */
+    double burstMs = 5.0;
+    double periodMs = 50.0;
+    /** Workload mix: "function", "all", or one workload id. */
+    std::string mix = "function";
+};
+
 /** Simulated virtual address-space layout (single process). */
 struct AddressLayout
 {
@@ -270,6 +304,7 @@ struct MachineConfig
     CheckConfig check;
     FaultPlan inject;
     SweepPolicyConfig sweep;
+    FleetConfig fleet;
 
     /** Convert a millisecond value to cycles at the core frequency. */
     Cycles

@@ -153,7 +153,11 @@ canonicalConfigText(const MachineConfig &cfg)
     // (inject.store_*) and the sweep.* execution policy are NOT
     // serialized: they perturb how the sweep executes, never what any
     // cell computes, and including them would make a resumed or
-    // re-sharded sweep miss every cell its predecessor cached.
+    // re-sharded sweep miss every cell its predecessor cached. The
+    // fleet.* keys are excluded for the same reason: a workload's
+    // per-invocation profile cell is independent of the fleet built on
+    // top of it, and the fleet summary cell folds its own
+    // fleetCanonicalText() (src/fleet/fleet.h) into its key instead.
     w.field("inject.pool_exhaust_at", cfg.inject.poolExhaustAtPage);
     w.field("inject.mmap_fail_at", cfg.inject.mmapFailAt);
     w.field("inject.trace_truncate_at", cfg.inject.traceTruncateAt);

@@ -54,6 +54,39 @@ schemaTable()
          MEMENTO_SET(c.dram.missLatency = v.u64)},
         {"dram.size", ConfigType::U64, 1 << 20, 1ull << 48,
          "DRAM capacity (bytes)", MEMENTO_SET(c.dram.sizeBytes = v.u64)},
+        {"fleet.arrival", ConfigType::String, kNoMin, kNoMax,
+         "fleet arrival process: poisson, bursty, or diurnal",
+         MEMENTO_SET(c.fleet.arrival = v.str)},
+        {"fleet.burst_factor", ConfigType::F64, 1, 1000,
+         "bursty arrivals: rate multiplier inside a burst",
+         MEMENTO_SET(c.fleet.burstFactor = v.f64)},
+        {"fleet.burst_ms", ConfigType::F64, 0.01, 1e6,
+         "bursty arrivals: burst length (ms)",
+         MEMENTO_SET(c.fleet.burstMs = v.f64)},
+        {"fleet.cores", ConfigType::U32, 1, 4096,
+         "simulated cores on the fleet node",
+         MEMENTO_SET(c.fleet.cores = static_cast<unsigned>(v.u64))},
+        {"fleet.invocations", ConfigType::U64, 1, 100'000'000,
+         "total invocations the arrival process generates",
+         MEMENTO_SET(c.fleet.invocations = v.u64)},
+        {"fleet.keep_alive_ms", ConfigType::F64, kNoMin, 1e9,
+         "keep-alive window for idle instances (ms; 0 = none)",
+         MEMENTO_SET(c.fleet.keepAliveMs = v.f64)},
+        {"fleet.memory_budget_pages", ConfigType::U64, kNoMin, kNoMax,
+         "node RSS budget in pages (0 = unlimited)",
+         MEMENTO_SET(c.fleet.memoryBudgetPages = v.u64)},
+        {"fleet.mix", ConfigType::String, kNoMin, kNoMax,
+         "workload mix: 'function', 'all', or one workload id",
+         MEMENTO_SET(c.fleet.mix = v.str)},
+        {"fleet.period_ms", ConfigType::F64, 0.01, 1e6,
+         "bursty arrivals: burst period (ms)",
+         MEMENTO_SET(c.fleet.periodMs = v.f64)},
+        {"fleet.rate_rps", ConfigType::F64, 0.01, 1e9,
+         "mean arrival rate (invocations per second)",
+         MEMENTO_SET(c.fleet.ratePerSec = v.f64)},
+        {"fleet.seed", ConfigType::U64, kNoMin, kNoMax,
+         "seed of the arrival-process RNG",
+         MEMENTO_SET(c.fleet.seed = v.u64)},
         {"inject.arena_bit_flip_at", ConfigType::U64, kNoMin, kNoMax,
          "flip an arena bitmap bit after op N (0 = off)",
          MEMENTO_SET(c.inject.arenaBitFlipAt = v.u64)},

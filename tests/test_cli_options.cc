@@ -68,10 +68,24 @@ TEST(CliOptions, ParseAppliesBenchFlags)
     EXPECT_EQ(opts.outFile, "x.json");
 }
 
+TEST(CliOptions, ParseAppliesFleetFlags)
+{
+    const CliOptions opts = parseCommandOptions(
+        command("fleet"),
+        {"fleet", "--cores", "4", "--invocations", "300", "--arrival",
+         "bursty", "--rate", "1500", "--jobs", "2"},
+        1);
+    EXPECT_EQ(opts.cfg.fleet.cores, 4u);
+    EXPECT_EQ(opts.cfg.fleet.invocations, 300u);
+    EXPECT_EQ(opts.cfg.fleet.arrival, "bursty");
+    EXPECT_DOUBLE_EQ(opts.cfg.fleet.ratePerSec, 1500.0);
+    EXPECT_EQ(opts.jobs, 2u);
+}
+
 TEST(CliOptions, DefaultsMatchDocumentedBehaviour)
 {
     const CliOptions opts;
-    EXPECT_EQ(opts.outFile, "BENCH_PR6.json");
+    EXPECT_EQ(opts.outFile, "BENCH_PR8.json");
     EXPECT_EQ(opts.repeats, 3u);
     EXPECT_EQ(opts.jobs, 0u);
     EXPECT_FALSE(opts.cfg.memento.enabled);

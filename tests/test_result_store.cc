@@ -92,6 +92,7 @@ richResult()
     r.freeListOps = 27;
     r.objAllocs = 28;
     r.objFrees = 29;
+    r.hotValidEntries = 30;
     // A fraction that does not round-trip through short decimal: the
     // store must preserve the exact bit pattern.
     r.fragInactiveFraction = 0.1 + 0.2;
@@ -461,7 +462,7 @@ TEST(ResultStore, RevalidateSampleIsDeterministicInTheKey)
  */
 TEST(CanonCoversConfig, SizeofTripwire)
 {
-    EXPECT_EQ(sizeof(MachineConfig), 576u)
+    EXPECT_EQ(sizeof(MachineConfig), 712u)
         << "MachineConfig changed: audit canonicalConfigText() before "
            "bumping this constant (see the comment above this test)";
 }

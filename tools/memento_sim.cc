@@ -32,13 +32,25 @@
  *       Self-benchmark: replay the workload sweep and measure the
  *       simulator itself (ops/s, per-op latency percentiles, serial
  *       and parallel sweep wall time). Always writes the versioned
- *       JSON document to --out (default BENCH_PR6.json); --json also
+ *       JSON document to --out (default BENCH_PR8.json); --json also
  *       prints it to stdout instead of the text summary.
+ *
+ *   memento_sim fleet [options]
+ *       Fleet-scale serverless node simulation (src/fleet): an
+ *       open-loop arrival process (--arrival poisson|bursty|diurnal,
+ *       --rate RPS, --invocations N) dispatched across --cores
+ *       simulated cores under keep-alive and memory-budget policies.
+ *       Reports p50/p99/p99.9 invocation latency, throughput,
+ *       cold-start rate, and packing density, plus an FNV-1a digest of
+ *       the complete fleet outcome; every number is derived from
+ *       integer cycle counts, so output is byte-identical at any
+ *       --jobs level and across --cache resumes.
  *
  *   memento_sim merge <out-dir> <in-dir>...
  *       Merge partial result stores (e.g. from --shard runs on other
  *       machines) into one, validating every record; corrupt source
- *       records are counted and skipped, never copied.
+ *       records are counted and skipped, never copied. Merging from
+ *       zero readable cells is an error, not a silent empty store.
  *
  *   memento_sim help [command]
  *       Render the global usage page or one command's options.
@@ -83,6 +95,7 @@
 #include "an/report.h"
 #include "bench/bench_harness.h"
 #include "cli/options.h"
+#include "fleet/fleet.h"
 #include "machine/breakdown.h"
 #include "machine/experiment.h"
 #include "machine/machine.h"
@@ -610,6 +623,32 @@ cmdBench(const CliOptions &opts)
 }
 
 int
+cmdFleet(const CliOptions &opts)
+{
+    const std::unique_ptr<ResultStore> store = makeStore(opts);
+
+    FleetOptions fopts;
+    fopts.cfg = opts.cfg;
+    fopts.jobs = opts.jobs;
+    fopts.store = store.get();
+    const FleetReport report = runFleet(fopts);
+
+    if (store != nullptr)
+        reportStoreStats(*store);
+    if (report.fromCache)
+        std::cerr << "fleet summary served from cache\n";
+
+    // stdout carries only simulated (integer-derived) values: the text
+    // and JSON renderings are byte-identical across --jobs levels and
+    // across cache resumes.
+    if (opts.json)
+        writeFleetJson(std::cout, report, opts.cfg);
+    else
+        printFleetText(std::cout, report, opts.cfg);
+    return 0;
+}
+
+int
 cmdMerge(const std::vector<std::string> &args)
 {
     // args: merge <out-dir> <in-dir>... — variadic positionals, no
@@ -632,6 +671,17 @@ cmdMerge(const std::vector<std::string> &args)
         total.merged += s.merged;
         total.duplicates += s.duplicates;
         total.corrupt += s.corrupt;
+    }
+    // A merge that read zero valid cells is a mistyped path or a wiped
+    // shard, not a legitimate empty union: fail loudly instead of
+    // leaving a silently empty store a later resume would trust.
+    if (total.merged + total.duplicates == 0) {
+        std::cerr << "memento_sim: merge: no readable cells in any "
+                     "input store ("
+                  << total.corrupt
+                  << " corrupt); nothing was merged — check the input "
+                     "paths\n";
+        return 1;
     }
     std::cout << "merged " << total.merged << " cell(s) into " << args[1]
               << " (" << total.duplicates << " duplicate(s), "
@@ -711,6 +761,8 @@ main(int argc, char **argv)
             return cmdLintConfig(args[1], opts);
         if (cmd == "bench")
             return cmdBench(opts);
+        if (cmd == "fleet")
+            return cmdFleet(opts);
     } catch (const SimError &e) {
         std::cerr << "memento_sim: error ("
                   << errorCategoryName(e.category()) << "): " << e.what()
