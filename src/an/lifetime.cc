@@ -76,8 +76,10 @@ profileTrace(const Trace &trace)
         }
     }
 
-    // Everything still live is batch-freed at exit: long-lived.
-    for (const auto &[id, obj] : live)
+    // Everything still live is batch-freed at exit: long-lived. The
+    // loop only bumps commutative counters, so visit order is moot.
+    for (const auto &[id, obj] :
+         live) // lint-src: allow(src-unordered-iteration)
         classify(obj, 0, /*freed=*/false);
 
     const std::uint64_t classified =

@@ -86,12 +86,25 @@ allFlags()
         {"--json", "",
          "emit a versioned JSON document instead of text",
          [](CliOptions &o, const std::string &) { o.json = true; }},
-        {"--allow", "RULE",
-         "suppress findings of a rule id (repeatable)",
+        {"--allow", "RULE[,RULE...]",
+         "suppress findings of the rule id(s); repeatable",
          [](CliOptions &o, const std::string &v) {
-             fatal_if(findDiagRule(v) == nullptr, "--allow: unknown rule '",
-                      v, "' (see the rule table in README.md)");
-             o.diagPolicy.allowed.insert(v);
+             // Comma-separated list or repeated flag, interchangeably.
+             std::size_t from = 0;
+             while (from <= v.size()) {
+                 std::size_t comma = v.find(',', from);
+                 if (comma == std::string::npos)
+                     comma = v.size();
+                 const std::string rule = v.substr(from, comma - from);
+                 fatal_if(rule.empty(),
+                          "--allow: empty rule id in '", v, "'");
+                 fatal_if(findDiagRule(rule) == nullptr,
+                          "--allow: unknown rule '", rule,
+                          "' (see `memento_sim rules` or the rule table "
+                          "in README.md)");
+                 o.diagPolicy.allowed.insert(rule);
+                 from = comma + 1;
+             }
          }},
         {"--werror", "", "treat analysis warnings as errors",
          [](CliOptions &o, const std::string &) {
@@ -182,6 +195,11 @@ allCommands()
          1},
         {"lint-config", "<file>", "validate a config file",
          {"--json", "--allow", "--werror"}, 1},
+        {"lint-src", "[paths...]",
+         "determinism & thread-safety lint over C++ sources",
+         {"--jobs", "--json", "--allow", "--werror"}, 0, true},
+        {"rules", "", "dump the registered diagnostic rule table",
+         {"--json"}, 0},
         {"bench", "",
          "self-benchmark the simulator over the workload sweep",
          {"--config", "--set", "--memento", "--jobs", "--json", "--out",
@@ -230,6 +248,10 @@ parseCommandOptions(const CommandSpec &command,
         if (arg == "--help" || arg == "-h") {
             opts.helpRequested = true;
             return opts;
+        }
+        if (command.variadicPaths && arg.rfind("-", 0) != 0) {
+            opts.paths.push_back(arg);
+            continue;
         }
         const FlagSpec *flag = findFlag(arg);
         fatal_if(flag == nullptr, "unknown option ", arg,

@@ -60,7 +60,9 @@ struct CliOptions
     std::string traceFile;
     /** bench: output JSON path. */
     std::string outFile = "BENCH_PR8.json";
-    DiagPolicy diagPolicy; ///< --allow / --werror (check, lint-config).
+    DiagPolicy diagPolicy; ///< --allow / --werror (analysis commands).
+    /** Variadic path arguments (lint-src [paths...]), in CLI order. */
+    std::vector<std::string> paths;
 };
 
 /** One registered flag. */
@@ -85,6 +87,9 @@ struct CommandSpec
     std::vector<std::string_view> flags;
     /** Required positional-argument count (before any flags). */
     std::size_t positionals = 0;
+    /** Accept additional non-flag arguments into CliOptions::paths
+     * (lint-src [paths...]); otherwise a bare argument is an error. */
+    bool variadicPaths = false;
 };
 
 /** The full flag table, in help order. */

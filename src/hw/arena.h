@@ -41,7 +41,7 @@ class ArenaGeometry
           objectsPerArena_(mcfg.objectsPerArena)
     {
         // The header's allocation bitmap field is 256 bits (Fig. 5a).
-        fatal_if(objectsPerArena_ == 0 || objectsPerArena_ > 256,
+        panic_if(objectsPerArena_ == 0 || objectsPerArena_ > 256,
                  "memento: objectsPerArena must be in [1, 256]");
     }
 

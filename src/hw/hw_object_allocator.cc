@@ -1,5 +1,8 @@
 #include "hw/hw_object_allocator.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace memento {
 
 HwObjectAllocator::HwObjectAllocator(const MachineConfig &cfg,
@@ -215,7 +218,17 @@ HwObjectAllocator::objFree(MementoSpace &space, Addr va, Env &env,
 void
 HwObjectAllocator::releaseAllArenas(MementoSpace &space, Env &env)
 {
-    for (auto &[va, state] : space.arenas) {
+    // Release in ascending VA order: freeArena rebuilds the page
+    // allocator's free lists, so hash-order teardown would leave an
+    // implementation-defined free-list order for the next function
+    // instance to allocate from.
+    std::vector<Addr> vas;
+    vas.reserve(space.arenas.size());
+    for (const auto &[va, state] :
+         space.arenas) // lint-src: allow(src-unordered-iteration)
+        vas.push_back(va);
+    std::sort(vas.begin(), vas.end());
+    for (Addr va : vas) {
         ++arenasReleased_;
         pageAlloc_.freeArena(space, va, env);
     }
@@ -235,7 +248,9 @@ HwObjectAllocator::inactiveSlotFraction(const MementoSpace &space) const
     const unsigned capacity = geometry_.objectsPerArena();
     std::uint64_t total = 0;
     std::uint64_t active = 0;
-    for (const auto &[va, state] : space.arenas) {
+    // Commutative integer sums: visit order cannot affect the result.
+    for (const auto &[va, state] :
+         space.arenas) { // lint-src: allow(src-unordered-iteration)
         if (state.allocated == 0)
             continue;
         total += capacity;

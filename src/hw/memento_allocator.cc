@@ -15,7 +15,7 @@ MementoAllocator::MementoAllocator(HwObjectAllocator &hw,
 Addr
 MementoAllocator::malloc(std::uint64_t size, Env &env)
 {
-    fatal_if(size == 0, "memento: zero-size malloc");
+    panic_if(size == 0, "memento: zero-size malloc");
     if (size > kMaxSmallSize)
         return large_.malloc(size, env);
 

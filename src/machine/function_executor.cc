@@ -119,11 +119,15 @@ FunctionExecutor::flipArenaBit()
     MementoSpace *space = machine_.mementoSpace();
     if (!space || space->arenas.empty())
         return;
-    // Deterministic victim: the lowest-addressed live arena. Flipping
-    // slot 0 desynchronises the bitmap from the allocated count either
-    // way the bit goes, so the invariant checker always sees it.
-    auto victim = space->arenas.begin();
-    for (auto it = space->arenas.begin(); it != space->arenas.end(); ++it) {
+    // Deterministic victim: the lowest-addressed live arena, found by
+    // a full min-scan, so the traversal order is provably irrelevant.
+    // Flipping slot 0 desynchronises the bitmap from the allocated
+    // count either way the bit goes, so the checker always sees it.
+    auto victim =
+        space->arenas.begin(); // lint-src: allow(src-unordered-iteration)
+    for (auto it =
+             space->arenas.begin(); // lint-src: allow(src-unordered-iteration)
+         it != space->arenas.end(); ++it) {
         if (it->first < victim->first)
             victim = it;
     }

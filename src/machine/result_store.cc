@@ -356,7 +356,9 @@ ResultStore::storeCell(const CellKey &key, std::string_view cell_kind,
                 ::write(fd, record.data(), half);
             ::close(fd);
         }
-        ::_exit(121);
+        // Crash injection by design: die mid-write without unwinding,
+        // exactly as a power cut would.
+        ::_exit(121); // lint-src: allow(src-fatal-in-library)
     }
 
     writeFileAtomic(cellPath(key), record);
@@ -364,7 +366,7 @@ ResultStore::storeCell(const CellKey &key, std::string_view cell_kind,
     if (opts_.killAt != 0 && stats_.stores == opts_.killAt) {
         // Crash injection: the record above is complete and durable;
         // die without unwinding, as SIGKILL would.
-        ::_exit(137);
+        ::_exit(137); // lint-src: allow(src-fatal-in-library)
     }
 }
 

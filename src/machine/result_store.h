@@ -45,6 +45,7 @@
 #include "machine/experiment.h"
 #include "machine/function_executor.h"
 #include "sim/config.h"
+#include "sim/thread_annotations.h"
 
 namespace memento {
 
@@ -173,11 +174,11 @@ class ResultStore
   private:
     std::string cellPath(const CellKey &key) const;
 
-    ResultStoreOptions opts_;
+    ResultStoreOptions opts_ MEMENTO_READONLY_AFTER_INIT;
     mutable std::mutex mu_;
-    StoreStats stats_;
+    StoreStats stats_ MEMENTO_GUARDED_BY(mu_);
     /** storeCell() invocation counter driving the crash injections. */
-    std::uint64_t storeCounter_ = 0;
+    std::uint64_t storeCounter_ MEMENTO_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace memento

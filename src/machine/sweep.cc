@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "machine/result_store.h"
+#include "sim/thread_annotations.h"
 #include "sim/error.h"
 #include "sim/logging.h"
 
@@ -54,7 +55,7 @@ class TaskDeque
 
   private:
     std::mutex mu_;
-    std::deque<std::size_t> dq_;
+    std::deque<std::size_t> dq_ MEMENTO_GUARDED_BY(mu_);
 };
 
 /** Lower @p target to @p idx if smaller (lock-free min). */

@@ -16,8 +16,8 @@ Cache::Cache(const std::string &name, const CacheConfig &cfg,
       evictions_(stats.counter(name + ".evictions")),
       dirtyEvictions_(stats.counter(name + ".dirty_evictions"))
 {
-    fatal_if(numSets_ == 0, "cache ", name, ": zero sets");
-    fatal_if(!isPowerOfTwo(numSets_), "cache ", name,
+    panic_if(numSets_ == 0, "cache ", name, ": zero sets");
+    panic_if(!isPowerOfTwo(numSets_), "cache ", name,
              ": set count must be a power of two");
 }
 

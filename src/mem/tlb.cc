@@ -16,7 +16,7 @@ Tlb::Tlb(const std::string &name, const TlbConfig &cfg, StatRegistry &stats)
 {
     // A 2048-entry 12-way TLB (Table 3) is not evenly divisible; round
     // the set count down as real designs do (capacity 2040 here).
-    fatal_if(cfg.entries < cfg.ways, "tlb ", name, ": too few entries");
+    panic_if(cfg.entries < cfg.ways, "tlb ", name, ": too few entries");
 }
 
 void

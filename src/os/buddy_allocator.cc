@@ -17,9 +17,9 @@ BuddyAllocator::BuddyAllocator(Addr base, std::uint64_t size_bytes,
       coalesces_(stats.counter("buddy.coalesces")),
       peakPages_(stats.counter("buddy.peak_pages"))
 {
-    fatal_if(base % kPageSize != 0, "buddy: unaligned base");
+    panic_if(base % kPageSize != 0, "buddy: unaligned base");
     const std::uint64_t max_block_pages = 1ull << kMaxOrder;
-    fatal_if(totalPages_ == 0 || totalPages_ % max_block_pages != 0,
+    panic_if(totalPages_ == 0 || totalPages_ % max_block_pages != 0,
              "buddy: size must be a multiple of the max block size");
 
     for (std::uint64_t page = 0; page < totalPages_;

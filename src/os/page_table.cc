@@ -26,7 +26,7 @@ struct PageTable::Node
 PageTable::PageTable(FrameSource &frames) : frames_(frames)
 {
     Addr root_frame = frames_.allocFrame();
-    fatal_if(root_frame == kNullAddr, "page table: no frame for root");
+    panic_if(root_frame == kNullAddr, "page table: no frame for root");
     root_ = std::make_unique<Node>(root_frame);
     nodePages_ = 1;
 }

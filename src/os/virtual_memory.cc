@@ -85,8 +85,8 @@ Addr
 VirtualMemory::mmap(std::uint64_t len, Env *env, bool populate,
                     std::uint64_t align)
 {
-    fatal_if(len == 0, "mmap of zero length");
-    fatal_if(!isPowerOfTwo(align) || align < kPageSize,
+    panic_if(len == 0, "mmap of zero length");
+    panic_if(!isPowerOfTwo(align) || align < kPageSize,
              "mmap: bad alignment");
     len = alignUp(len, kPageSize);
 
@@ -162,10 +162,10 @@ VirtualMemory::munmap(Addr base, std::uint64_t len, Env *env)
 {
     len = alignUp(len, kPageSize);
     auto it = vmas_.upper_bound(base);
-    fatal_if(it == vmas_.begin(), "munmap of unmapped range 0x", std::hex,
+    panic_if(it == vmas_.begin(), "munmap of unmapped range 0x", std::hex,
              base);
     --it;
-    fatal_if(base < it->second.base || base + len > it->second.end(),
+    panic_if(base < it->second.base || base + len > it->second.end(),
              "munmap of unmapped range 0x", std::hex, base);
 
     ++munmapCalls_;

@@ -1,6 +1,7 @@
 #include "rt/gomalloc.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "sim/logging.h"
 
@@ -23,10 +24,10 @@ GoMalloc::GoMalloc(VirtualMemory &vm, StatRegistry &stats, Params params)
       arenaMmaps_(stats.counter("gomalloc.arena_mmaps")),
       spanCarves_(stats.counter("gomalloc.span_carves"))
 {
-    fatal_if(!isPowerOfTwo(params_.spanBytes) ||
+    panic_if(!isPowerOfTwo(params_.spanBytes) ||
                  params_.spanBytes < kPageSize,
              "gomalloc: span size must be a power-of-two >= page size");
-    fatal_if(params_.arenaBytes % params_.spanBytes != 0,
+    panic_if(params_.arenaBytes % params_.spanBytes != 0,
              "gomalloc: arena size must be a multiple of the span size");
     // mspan records live in runtime-managed memory, demand-faulted as
     // the heap grows (this is kernel-visible metadata growth).
@@ -98,7 +99,7 @@ GoMalloc::spanForClass(unsigned cls, Env &env)
 Addr
 GoMalloc::malloc(std::uint64_t size, Env &env)
 {
-    fatal_if(size == 0, "gomalloc: zero-size malloc");
+    panic_if(size == 0, "gomalloc: zero-size malloc");
     if (size > kMaxSmallSize)
         return large_.malloc(size, env);
 
@@ -169,8 +170,18 @@ GoMalloc::runGc(Env &env)
     // Mark: proportional to the live set.
     env.chargeInstructions(20 * live_.size() + 4000);
 
-    // Sweep: visit spans with garbage, rebuild their free lists.
-    for (auto &[base, span] : spans_) {
+    // Sweep in ascending span order: the sweep touches span metadata
+    // (cache state) and appends reclaimed spans to the partial/idle
+    // lists that later allocations pop from, so hash-order sweeping
+    // would make allocation addresses implementation-defined.
+    std::vector<Addr> bases;
+    bases.reserve(spans_.size());
+    for (const auto &[base, span] :
+         spans_) // lint-src: allow(src-unordered-iteration)
+        bases.push_back(base);
+    std::sort(bases.begin(), bases.end());
+    for (Addr base : bases) {
+        Span &span = spans_.at(base);
         if (span.dead.empty())
             continue;
         env.chargeInstructions(60 + 12 * span.dead.size());
@@ -223,7 +234,9 @@ GoMalloc::inactiveSlotFraction() const
 {
     std::uint64_t total = 0;
     std::uint64_t live = 0;
-    for (const auto &[base, span] : spans_) {
+    // Commutative integer sums: visit order cannot affect the result.
+    for (const auto &[base, span] :
+         spans_) { // lint-src: allow(src-unordered-iteration)
         if (span.liveCount == 0)
             continue; // Idle span: free memory, not slack.
         total += span.capacity;

@@ -1,5 +1,8 @@
 #include "rt/jemalloc.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/logging.h"
 
 namespace memento {
@@ -23,10 +26,10 @@ JeMalloc::JeMalloc(VirtualMemory &vm, StatRegistry &stats, Params params)
       purges_(stats.counter("jemalloc.purges")),
       purgedPages_(stats.counter("jemalloc.purged_pages"))
 {
-    fatal_if(!isPowerOfTwo(params_.slabBytes) ||
+    panic_if(!isPowerOfTwo(params_.slabBytes) ||
                  params_.slabBytes < kPageSize,
              "jemalloc: slab size must be a power-of-two >= page size");
-    fatal_if(params_.chunkBytes % params_.slabBytes != 0,
+    panic_if(params_.chunkBytes % params_.slabBytes != 0,
              "jemalloc: chunk size must be a multiple of the slab size");
 
     // tcache bins metadata (stack pointers per class): pre-populated.
@@ -180,7 +183,17 @@ JeMalloc::maybePurge(Env &env)
     // high even at a stable heap size.
     CategoryScope scope(env.ledger(), CycleCategory::UserFree);
     env.chargeInstructions(400);
-    for (auto &[base, slab] : slabs_) {
+    // Decay in ascending slab order: madviseFree mutates VM state, so
+    // hash-order purging would make the access sequence (and with it
+    // the state digest) implementation-defined.
+    std::vector<Addr> bases;
+    bases.reserve(slabs_.size());
+    for (const auto &[base, slab] :
+         slabs_) // lint-src: allow(src-unordered-iteration)
+        bases.push_back(base);
+    std::sort(bases.begin(), bases.end());
+    for (Addr base : bases) {
+        Slab &slab = slabs_.at(base);
         if (slab.livePerPage.empty())
             continue;
         for (std::size_t page = 0; page < slab.livePerPage.size();
@@ -199,7 +212,7 @@ JeMalloc::maybePurge(Env &env)
 Addr
 JeMalloc::malloc(std::uint64_t size, Env &env)
 {
-    fatal_if(size == 0, "jemalloc: zero-size malloc");
+    panic_if(size == 0, "jemalloc: zero-size malloc");
     if (size > kMaxSmallSize)
         return large_.malloc(size, env);
 
@@ -275,7 +288,9 @@ JeMalloc::inactiveSlotFraction() const
 {
     std::uint64_t total = 0;
     std::uint64_t inactive = 0;
-    for (const auto &[base, slab] : slabs_) {
+    // Commutative integer sums: visit order cannot affect the result.
+    for (const auto &[base, slab] :
+         slabs_) { // lint-src: allow(src-unordered-iteration)
         if (slab.freeList.size() == slab.carved)
             continue; // No live objects: free memory, not slack.
         total += slab.capacity;

@@ -20,11 +20,11 @@ PyMalloc::PyMalloc(VirtualMemory &vm, StatRegistry &stats, Params params)
       arenaMunmaps_(stats.counter("pymalloc.arena_munmaps")),
       poolAcquires_(stats.counter("pymalloc.pool_acquires"))
 {
-    fatal_if(params_.arenaBytes % params_.poolBytes != 0,
+    panic_if(params_.arenaBytes % params_.poolBytes != 0,
              "pymalloc: arena size must be a multiple of the pool size");
     // Pool lookup on free masks the pointer with the pool size, which
     // requires pool-aligned arenas; mmap guarantees page alignment only.
-    fatal_if(params_.poolBytes != kPageSize,
+    panic_if(params_.poolBytes != kPageSize,
              "pymalloc: pool size must equal the page size");
     // Region holding arena_object records (not eagerly populated: the
     // interpreter faults these in as arenas appear).
@@ -73,7 +73,7 @@ PyMalloc::acquirePool(unsigned cls, Env &env)
         arena.objAddr = freeArenaObjSlots_.back();
         freeArenaObjSlots_.pop_back();
     } else {
-        fatal_if(arenaObjCursor_ >= 64 * kPageSize,
+        panic_if(arenaObjCursor_ >= 64 * kPageSize,
                  "pymalloc: arena_object table exhausted");
         arena.objAddr = arenaObjRegion_ + arenaObjCursor_;
         arenaObjCursor_ += 64; // sizeof(struct arena_object)
@@ -134,7 +134,7 @@ PyMalloc::carveBlock(Pool &pool, Env &env)
 Addr
 PyMalloc::malloc(std::uint64_t size, Env &env)
 {
-    fatal_if(size == 0, "pymalloc: zero-size malloc");
+    panic_if(size == 0, "pymalloc: zero-size malloc");
     if (size > kMaxSmallSize)
         return large_.malloc(size, env);
 

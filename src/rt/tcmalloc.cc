@@ -23,10 +23,10 @@ TcMalloc::TcMalloc(VirtualMemory &vm, StatRegistry &stats, Params params)
       spanCarves_(stats.counter("tcmalloc.span_carves")),
       heapGrows_(stats.counter("tcmalloc.heap_grows"))
 {
-    fatal_if(!isPowerOfTwo(params_.spanBytes) ||
+    panic_if(!isPowerOfTwo(params_.spanBytes) ||
                  params_.spanBytes < kPageSize,
              "tcmalloc: span size must be a power-of-two >= page size");
-    fatal_if(params_.growBytes % params_.spanBytes != 0,
+    panic_if(params_.growBytes % params_.spanBytes != 0,
              "tcmalloc: grow size must be a multiple of the span size");
     // Thread-cache headers and central-list metadata; resident in a
     // warm process.
@@ -110,7 +110,7 @@ TcMalloc::release(unsigned cls, Env &env)
 Addr
 TcMalloc::malloc(std::uint64_t size, Env &env)
 {
-    fatal_if(size == 0, "tcmalloc: zero-size malloc");
+    panic_if(size == 0, "tcmalloc: zero-size malloc");
     if (size > kMaxSmallSize)
         return large_.malloc(size, env);
 
@@ -201,7 +201,9 @@ TcMalloc::inactiveSlotFraction() const
 {
     std::uint64_t total = 0;
     std::uint64_t live = 0;
-    for (const auto &[base, span] : spans_) {
+    // Commutative integer sums: visit order cannot affect the result.
+    for (const auto &[base, span] :
+         spans_) { // lint-src: allow(src-unordered-iteration)
         if (span.live == 0)
             continue;
         total += span.capacity;

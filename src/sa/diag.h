@@ -2,8 +2,9 @@
  * @file
  * Shared diagnostic engine for the static-analysis layer.
  *
- * Both sa/ analyzers — the trace checker and the config linter — report
- * through this engine: every finding names a registered rule (stable
+ * All sa/ analyzers — the trace checker, the config linter, and the
+ * source linter (lint-src) — report through this engine: every finding
+ * names a registered rule (stable
  * string id, fixed severity, one-line summary), a subject (workload id
  * or file path), a location (trace op index or config line), and a
  * message. Reports render as sanitizer-style text
@@ -104,6 +105,8 @@ class DiagReport
     /** Finding counts under @p policy (suppression + promotion). */
     std::size_t errors(const DiagPolicy &policy = {}) const;
     std::size_t warnings(const DiagPolicy &policy = {}) const;
+    /** Notes are never promoted by --werror (advisory by design). */
+    std::size_t notes(const DiagPolicy &policy = {}) const;
 
     /** True when @p policy leaves no errors (the exit-0 criterion). */
     bool clean(const DiagPolicy &policy = {}) const;
@@ -115,7 +118,8 @@ class DiagReport
      * The report as a versioned JSON document: the sim/json.h envelope
      * ("schema_version", "kind": "diagnostics"), a "findings" array of
      * objects with stable key order (rule, severity, subject,
-     * location, message), and "errors"/"warnings" totals. Suppressed
+     * location, message), and "errors"/"warnings"/"notes" totals.
+     * Suppressed
      * findings are omitted and promoted severities are rendered.
      */
     void printJson(std::ostream &os, const DiagPolicy &policy = {}) const;

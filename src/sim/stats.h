@@ -15,6 +15,8 @@
 #include <ostream>
 #include <string>
 
+#include "sim/thread_annotations.h"
+
 namespace memento {
 
 class StatRegistry;
@@ -99,7 +101,7 @@ class Counter
  * registry) instead of sharing counters across workers — there are no
  * process-wide statistics anywhere in the simulator.
  */
-class StatRegistry
+class MEMENTO_SINGLE_THREADED StatRegistry
 {
   public:
     /** Get (creating if needed) the counter registered as @p name. */

@@ -42,7 +42,8 @@ addSpace(DigestBuilder &d, const MementoSpace &space)
     // arenas is unordered; visit headers by ascending base VA.
     std::vector<Addr> bases;
     bases.reserve(space.arenas.size());
-    for (const auto &[va, state] : space.arenas)
+    for (const auto &[va, state] :
+         space.arenas) // lint-src: allow(src-unordered-iteration)
         bases.push_back(va);
     std::sort(bases.begin(), bases.end());
     for (Addr va : bases) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 #include <unordered_set>
+#include <vector>
 
 #include "machine/machine.h"
 #include "sim/error.h"
@@ -168,7 +169,16 @@ InvariantChecker::checkMemento(Machine &m, std::vector<std::string> &v)
             }
         }
 
-        for (const auto &[va, state] : space->arenas) {
+        // Validate arenas in ascending VA order so a report with
+        // several violations lists them deterministically.
+        std::vector<Addr> arena_vas;
+        arena_vas.reserve(space->arenas.size());
+        for (const auto &[va, state] :
+             space->arenas) // lint-src: allow(src-unordered-iteration)
+            arena_vas.push_back(va);
+        std::sort(arena_vas.begin(), arena_vas.end());
+        for (Addr va : arena_vas) {
+            const ArenaState &state = space->arenas.at(va);
             std::ostringstream who_arena;
             who_arena << who << ": arena 0x" << std::hex << va;
             if (state.va != va)

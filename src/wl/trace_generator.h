@@ -21,6 +21,7 @@
 #include <mutex>
 #include <string>
 
+#include "sim/thread_annotations.h"
 #include "wl/trace.h"
 #include "wl/workloads.h"
 
@@ -74,7 +75,8 @@ class TraceCache
     };
 
     std::mutex mu_;
-    std::map<std::string, std::shared_ptr<Entry>> entries_;
+    std::map<std::string, std::shared_ptr<Entry>> entries_
+        MEMENTO_GUARDED_BY(mu_);
     std::atomic<std::uint64_t> generations_{0};
 };
 

@@ -1,0 +1,9 @@
+// True positive: fatal_if() in model-layer code kills the whole
+// process, so one bad cell takes a --keep-going sweep down with it.
+#include "sim/logging.h"
+
+void
+reservePages(unsigned pages)
+{
+    fatal_if(pages == 0, "reserving zero pages");
+}

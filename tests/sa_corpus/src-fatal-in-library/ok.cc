@@ -1,0 +1,13 @@
+// Near-miss: model code raises SimError (recoverable per-cell) for
+// run failures and panics only on genuine invariant violations.
+#include "sim/error.h"
+#include "sim/logging.h"
+
+void
+reservePages(unsigned pages, unsigned budget)
+{
+    if (pages > budget)
+        throw SimError(ErrorCategory::OutOfMemory,
+                       "page reservation exceeds the node budget");
+    panic_if(pages == 0, "reservation request lost its page count");
+}

@@ -1,0 +1,11 @@
+// True positive: a double fed straight into the FNV-1a digest makes
+// the digest depend on FP rounding mode and summation order.
+#include "val/digest.h"
+
+unsigned long long
+digestUtilization(double utilization)
+{
+    memento::DigestBuilder d;
+    d.add(utilization * 1000.0);
+    return d.value();
+}

@@ -1,0 +1,15 @@
+// Near-miss: the float is quantized to an integer *before* the digest
+// call, so only integer state reaches the accumulator.
+#include <cstdint>
+
+#include "val/digest.h"
+
+unsigned long long
+digestUtilization(double utilization)
+{
+    const std::uint64_t permille =
+        static_cast<std::uint64_t>(utilization * 1000.0);
+    memento::DigestBuilder d;
+    d.add(permille);
+    return d.value();
+}

@@ -1,0 +1,12 @@
+// Half of a deliberate include cycle: bad_a.h <-> bad_b.h.
+#ifndef SA_CORPUS_BAD_A_H
+#define SA_CORPUS_BAD_A_H
+
+#include "bad_b.h"
+
+struct BadA
+{
+    int a = 0;
+};
+
+#endif // SA_CORPUS_BAD_A_H

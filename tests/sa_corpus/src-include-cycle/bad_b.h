@@ -1,0 +1,12 @@
+// The other half of the deliberate include cycle.
+#ifndef SA_CORPUS_BAD_B_H
+#define SA_CORPUS_BAD_B_H
+
+#include "bad_a.h"
+
+struct BadB
+{
+    int b = 0;
+};
+
+#endif // SA_CORPUS_BAD_B_H

@@ -1,0 +1,14 @@
+// Near-miss: a two-file chain in one direction only — ok_a.h includes
+// ok_b.h, and ok_b.h breaks the back-reference with a forward
+// declaration. No cycle.
+#ifndef SA_CORPUS_OK_A_H
+#define SA_CORPUS_OK_A_H
+
+#include "ok_b.h"
+
+struct OkA
+{
+    OkB b;
+};
+
+#endif // SA_CORPUS_OK_A_H

@@ -1,0 +1,13 @@
+// Leaf of the acyclic near-miss pair: refers back to OkA only through
+// a forward declaration, never an include.
+#ifndef SA_CORPUS_OK_B_H
+#define SA_CORPUS_OK_B_H
+
+struct OkA;
+
+struct OkB
+{
+    OkA *owner = nullptr;
+};
+
+#endif // SA_CORPUS_OK_B_H

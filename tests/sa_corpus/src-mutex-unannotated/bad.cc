@@ -1,0 +1,19 @@
+// True positive: the class holds a mutex, but counter_ names no
+// synchronization — a reader cannot tell whether mu_ protects it.
+#include <cstdint>
+#include <mutex>
+
+class HitCounter
+{
+  public:
+    void
+    bump()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counter_;
+    }
+
+  private:
+    std::mutex mu_;
+    std::uint64_t counter_ = 0;
+};

@@ -1,0 +1,27 @@
+// Near-miss: every data member next to the mutex either names its
+// guard, is immutable after construction, or is itself atomic.
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "sim/thread_annotations.h"
+
+class HitCounter
+{
+  public:
+    explicit HitCounter(std::uint64_t limit) : limit_(limit) {}
+
+    void
+    bump()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counter_;
+        peeks_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+  private:
+    std::uint64_t limit_ MEMENTO_READONLY_AFTER_INIT;
+    std::mutex mu_;
+    std::uint64_t counter_ MEMENTO_GUARDED_BY(mu_) = 0;
+    std::atomic<std::uint64_t> peeks_{0};
+};

@@ -1,0 +1,10 @@
+// True positive: writing straight to std::cout from library code; two
+// sweep workers doing this interleave their lines mid-record.
+#include <cstdint>
+#include <iostream>
+
+void
+reportProgress(std::uint64_t done, std::uint64_t total)
+{
+    std::cout << done << "/" << total << " cells\n";
+}

@@ -1,0 +1,11 @@
+// Near-miss: the function takes a std::ostream& so the caller decides
+// where (and under which serialization) the text lands — the repo's
+// TextTable/report convention.
+#include <cstdint>
+#include <ostream>
+
+void
+reportProgress(std::ostream &os, std::uint64_t done, std::uint64_t total)
+{
+    os << done << "/" << total << " cells\n";
+}

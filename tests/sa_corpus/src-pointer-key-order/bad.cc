@@ -1,0 +1,14 @@
+// True positive: a std::map keyed by a raw pointer orders itself by
+// allocator address — a different order every run.
+#include <map>
+
+struct Obj
+{
+    int v = 0;
+};
+
+int
+firstValue(const std::map<Obj *, int> &by_ptr)
+{
+    return by_ptr.empty() ? 0 : by_ptr.begin()->second;
+}

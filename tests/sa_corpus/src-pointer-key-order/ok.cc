@@ -1,0 +1,15 @@
+// Near-miss: the map is keyed by a stable integer id; the pointer only
+// appears in the *mapped* type, which does not drive iteration order.
+#include <cstdint>
+#include <map>
+
+struct Obj
+{
+    int v = 0;
+};
+
+int
+firstValue(const std::map<std::uint64_t, Obj *> &by_id)
+{
+    return by_id.empty() ? 0 : by_id.begin()->second->v;
+}

@@ -1,0 +1,9 @@
+// True positive: a work marker with no issue reference — untrackable
+// debt that outlives everyone's memory of it.
+
+// TODO: handle huge-page spans here
+int
+spanPages(int bytes)
+{
+    return (bytes + 4095) / 4096;
+}

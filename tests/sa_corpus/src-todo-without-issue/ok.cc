@@ -1,0 +1,9 @@
+// Near-miss: the marker is anchored to a tracked issue, so the debt
+// has an owner and a paper trail.
+
+// TODO(#142): handle huge-page spans here
+int
+spanPages(int bytes)
+{
+    return (bytes + 4095) / 4096;
+}

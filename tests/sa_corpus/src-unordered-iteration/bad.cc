@@ -1,0 +1,13 @@
+// True positive: range-for over an unordered map feeds output, so the
+// line order depends on the library's hash function.
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t
+sumAndEmit(const std::unordered_map<std::uint64_t, std::uint64_t> &live)
+{
+    std::uint64_t acc = 0;
+    for (const auto &[id, len] : live)
+        acc = acc * 31 + id + len;
+    return acc;
+}

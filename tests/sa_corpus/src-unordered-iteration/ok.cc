@@ -1,0 +1,19 @@
+// Near-miss: same shape, but the container is an ordered std::map, so
+// iteration order is the key order — deterministic by construction.
+// Membership probes against an unordered map (find/count, no
+// iteration) are also fine.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+std::uint64_t
+sumAndEmit(const std::map<std::uint64_t, std::uint64_t> &live,
+           const std::unordered_map<std::uint64_t, std::uint64_t> &index)
+{
+    std::uint64_t acc = 0;
+    for (const auto &[id, len] : live)
+        acc = acc * 31 + id + len;
+    if (index.find(acc) != index.end())
+        ++acc;
+    return acc;
+}

@@ -1,0 +1,9 @@
+// True positive: rand() draws from hidden global state, so a replay
+// from the same spec seed produces a different trace.
+#include <cstdlib>
+
+unsigned
+pickVictim(unsigned n)
+{
+    return static_cast<unsigned>(std::rand()) % n;
+}

@@ -1,0 +1,25 @@
+// Near-miss: a member function named rand() on an explicitly seeded
+// generator object — exactly the sim/rng.h pattern the rule wants.
+#include <cstdint>
+
+class SeededRng
+{
+  public:
+    explicit SeededRng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    rand()
+    {
+        state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+        return state_ >> 33;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+unsigned
+pickVictim(SeededRng &rng, unsigned n)
+{
+    return static_cast<unsigned>(rng.rand() % n);
+}

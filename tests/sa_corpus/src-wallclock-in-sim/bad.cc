@@ -1,0 +1,11 @@
+// True positive: system_clock is host wall-clock time; a simulated
+// timestamp derived from it changes on every run and every machine.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t
+stampResult()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::system_clock::now().time_since_epoch().count());
+}

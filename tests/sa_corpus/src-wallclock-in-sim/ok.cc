@@ -1,0 +1,15 @@
+// Near-miss: steady_clock measures elapsed host time for
+// self-benchmarking; it never lands in simulated results, and the
+// rule leaves it alone. A `time_point` member name is also not a
+// time() call.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t
+elapsedNs(std::chrono::steady_clock::time_point since)
+{
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - since)
+            .count());
+}

@@ -453,7 +453,8 @@ TEST(DiagRender, GoldenJson)
               "    }\n"
               "  ],\n"
               "  \"errors\": 1,\n"
-              "  \"warnings\": 0\n"
+              "  \"warnings\": 0,\n"
+              "  \"notes\": 0\n"
               "}");
 }
 

@@ -28,6 +28,23 @@
  *       Validate a `key = value` config file against the declared
  *       schema. Exits non-zero when any error remains.
  *
+ *   memento_sim lint-src [paths...] [options]
+ *       Determinism & thread-safety lint over the repo's own C++
+ *       sources (default path: src). A comment/string-aware tokenizer
+ *       drives repo-specific rules — unordered-container iteration,
+ *       unseeded randomness, wall-clock reads in simulation code,
+ *       unguarded members of mutex-holding classes, include cycles —
+ *       reported through the same diagnostic engine as check and
+ *       lint-config, so --allow/--werror/--json work unchanged. Files
+ *       fan out over parallelFor and merge in sorted path order:
+ *       byte-identical output at any --jobs level.
+ *
+ *   memento_sim rules [--json]
+ *       Dump the registered diagnostic rule table (id, severity,
+ *       summary). Text output is the markdown table embedded in
+ *       README.md; CI regenerates the README section from it so the
+ *       docs cannot drift from the registry.
+ *
  *   memento_sim bench [options]
  *       Self-benchmark: replay the workload sweep and measure the
  *       simulator itself (ops/s, per-op latency percentiles, serial
@@ -103,8 +120,10 @@
 #include "machine/sweep.h"
 #include "sa/config_lint.h"
 #include "sa/diag.h"
+#include "sa/source_lint.h"
 #include "sa/trace_check.h"
 #include "sim/atomic_io.h"
+#include "sim/json.h"
 #include "sim/error.h"
 #include "sim/logging.h"
 #include "val/digest.h"
@@ -511,7 +530,11 @@ finishAnalysis(const DiagReport &report, const CliOptions &opts,
         report.printText(std::cout, opts.diagPolicy);
         std::cout << what << ": " << report.errors(opts.diagPolicy)
                   << " error(s), " << report.warnings(opts.diagPolicy)
-                  << " warning(s)\n";
+                  << " warning(s)";
+        if (report.notes(opts.diagPolicy) != 0)
+            std::cout << ", " << report.notes(opts.diagPolicy)
+                      << " note(s)";
+        std::cout << "\n";
     }
     return report.clean(opts.diagPolicy) ? 0 : 1;
 }
@@ -566,6 +589,48 @@ cmdLintConfig(const std::string &path, const CliOptions &opts)
     DiagReport report;
     lintConfigFile(path, report);
     return finishAnalysis(report, opts, "linted " + path);
+}
+
+int
+cmdLintSrc(const CliOptions &opts)
+{
+    std::vector<std::string> paths = opts.paths;
+    if (paths.empty())
+        paths.push_back("src");
+    DiagReport report;
+    const std::size_t files = lintSourcePaths(paths, opts.jobs, report);
+    return finishAnalysis(report, opts,
+                          "linted " + std::to_string(files) + " file(s)");
+}
+
+int
+cmdRules(const CliOptions &opts)
+{
+    if (opts.json) {
+        JsonWriter w(std::cout);
+        w.beginObject();
+        writeSchemaHeader(w, "rules");
+        w.key("rules").beginArray();
+        for (const DiagRule &r : allDiagRules()) {
+            w.beginObject();
+            w.member("id", r.id);
+            w.member("severity", severityName(r.severity));
+            w.member("summary", r.summary);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        std::cout << "\n";
+        return 0;
+    }
+    // The text rendering *is* the markdown table embedded in README.md
+    // (between the rules:begin/rules:end markers); CI diffs the two.
+    std::cout << "| Rule | Severity | Summary |\n"
+              << "|------|----------|---------|\n";
+    for (const DiagRule &r : allDiagRules())
+        std::cout << "| `" << r.id << "` | " << severityName(r.severity)
+                  << " | " << r.summary << " |\n";
+    return 0;
 }
 
 int
@@ -759,6 +824,10 @@ main(int argc, char **argv)
             return cmdCheck(args[1], opts);
         if (cmd == "lint-config")
             return cmdLintConfig(args[1], opts);
+        if (cmd == "lint-src")
+            return cmdLintSrc(opts);
+        if (cmd == "rules")
+            return cmdRules(opts);
         if (cmd == "bench")
             return cmdBench(opts);
         if (cmd == "fleet")
